@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark harnesses:
+ * experiment runners and plain-text table printers that emit the rows
+ * and series the paper's tables and figures report.
+ */
+
+#ifndef TOKENCMP_BENCH_BENCH_UTIL_HH
+#define TOKENCMP_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+#include "workload/workload.hh"
+
+namespace tokencmp::bench {
+
+/** Seeds per data point (Alameldeen-style error bars). */
+inline unsigned
+seedsPerPoint()
+{
+    if (const char *env = std::getenv("TOKENCMP_SEEDS"))
+        return unsigned(std::max(1, atoi(env)));
+    return 3;
+}
+
+/** Run one (protocol, workload) cell. */
+inline Experiment
+runCell(Protocol proto,
+        const std::function<std::unique_ptr<Workload>()> &factory,
+        unsigned seeds = 0)
+{
+    SystemConfig cfg;
+    cfg.protocol = proto;
+    return runSeeds(cfg, factory, seeds ? seeds : seedsPerPoint());
+}
+
+inline void
+banner(const char *title, const char *expectation)
+{
+    std::printf("\n=== %s ===\n", title);
+    std::printf("paper expectation: %s\n\n", expectation);
+}
+
+inline void
+printRow(const std::string &label, const std::vector<double> &vals,
+         const std::vector<double> &errs)
+{
+    std::printf("%-22s", label.c_str());
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+        if (errs.empty() || errs[i] <= 0.0)
+            std::printf(" %10.3f", vals[i]);
+        else
+            std::printf(" %7.3f±%.2f", vals[i], errs[i]);
+    }
+    std::printf("\n");
+}
+
+inline void
+printHeaderRow(const std::vector<std::string> &cols)
+{
+    std::printf("%-22s", "");
+    for (const auto &c : cols)
+        std::printf(" %10s", c.c_str());
+    std::printf("\n");
+}
+
+} // namespace tokencmp::bench
+
+#endif // TOKENCMP_BENCH_BENCH_UTIL_HH

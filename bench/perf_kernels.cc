@@ -1,0 +1,115 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot kernels:
+ * event-queue scheduling, cache-array probes, RNG, network transit,
+ * whole-simulation throughput, and model-checker state exploration.
+ * These guard the simulator's own performance (simulation speed),
+ * not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mc/checker.hh"
+#include "mc/token_model.hh"
+#include "mem/cache_array.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "system/system.hh"
+#include "workload/locking.hh"
+
+namespace {
+
+using namespace tokencmp;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int n = int(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        int fired = 0;
+        for (int i = 0; i < n; ++i)
+            eq.schedule(Tick(i % 97), [&fired]() { ++fired; });
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void
+BM_CacheArrayProbe(benchmark::State &state)
+{
+    struct St
+    {
+        int x = 0;
+    };
+    CacheArray<St> array(128 * 1024, 4);
+    for (Addr a = 0; a < 512 * 64; a += 64)
+        array.install(array.victim(a), a);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(array.probe(a));
+        a = (a + 64) % (512 * 64);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayProbe);
+
+void
+BM_RandomUniform(benchmark::State &state)
+{
+    Random rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.uniform(512));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomUniform);
+
+void
+BM_LockingSimulation(benchmark::State &state)
+{
+    const auto proto = state.range(0) == 0 ? Protocol::TokenDst1
+                                           : Protocol::DirectoryCMP;
+    for (auto _ : state) {
+        SystemConfig cfg;
+        cfg.protocol = proto;
+        cfg.audit = false;
+        System sys(cfg);
+        LockingParams p;
+        p.numLocks = 64;
+        p.acquiresPerProc = 10;
+        LockingWorkload wl(p);
+        auto res = sys.run(wl);
+        benchmark::DoNotOptimize(res.runtime);
+        if (!res.completed)
+            state.SkipWithError("simulation did not complete");
+    }
+}
+BENCHMARK(BM_LockingSimulation)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ModelCheckerThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        mc::TokenModelConfig cfg;
+        cfg.caches = 2;
+        cfg.totalTokens = 3;
+        cfg.maxMsgs = 2;
+        cfg.variant = mc::TokenVariant::Safety;
+        mc::Checker chk;
+        auto r = chk.run(mc::TokenModel(cfg));
+        benchmark::DoNotOptimize(r.states);
+        if (!r.safe)
+            state.SkipWithError("model unexpectedly unsafe");
+    }
+    state.SetLabel("states/iter ~ 4k");
+}
+BENCHMARK(BM_ModelCheckerThroughput)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Section 5 reproduction: model-checking the flat correctness
+ * substrate versus a simplified flat directory protocol.
+ *
+ * For each model we report reachable states, transitions, BFS depth,
+ * wall-clock time, and the verified properties (safety: token
+ * conservation / single-writer-multiple-reader / serial memory;
+ * deadlock freedom; progress: persistent requests and directory
+ * transactions always remain satisfiable).
+ *
+ * Paper findings reproduced: the token substrate's verification
+ * complexity is comparable to a flat directory protocol; the
+ * distributed-activation variant is somewhat more expensive to check
+ * than the arbiter variant; the safety-only substrate is cheapest.
+ * Because only the substrate is modeled (with a nondeterministic
+ * performance policy), the token results cover *every* performance
+ * policy — the directory model has no such separation. The second
+ * table verifies that seeded substrate bugs are caught.
+ */
+
+#include <cstdio>
+
+#include "mc/checker.hh"
+#include "mc/dir_model.hh"
+#include "mc/token_model.hh"
+
+using namespace tokencmp::mc;
+
+namespace {
+
+void
+report(const char *label, const CheckResult &r)
+{
+    std::printf("%-24s %9llu %10llu %6u %8.2fs  %s%s%s\n", label,
+                (unsigned long long)r.states,
+                (unsigned long long)r.transitions, r.diameter,
+                r.seconds, r.safe ? "safe" : "UNSAFE",
+                r.deadlockFree ? ", deadlock-free" : ", DEADLOCK",
+                r.progress ? ", progress" : "");
+    if (!r.safe)
+        std::printf("%-24s   violation: %s\n", "", r.violation.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("\n=== Section 5: model-checking complexity ===\n");
+    std::printf("paper expectation: token substrate ~ flat directory; "
+                "dst > arb > safety-only; all clean models verify\n\n");
+    std::printf("%-24s %9s %10s %6s %9s  %s\n", "model", "states",
+                "transitions", "depth", "time", "result");
+
+    Checker chk;
+
+    {
+        TokenModelConfig cfg;
+        cfg.caches = 2;
+        cfg.totalTokens = 3;
+        cfg.maxMsgs = 2;
+        cfg.variant = TokenVariant::Safety;
+        report("TokenCMP-safety", chk.run(TokenModel(cfg)));
+        cfg.variant = TokenVariant::Arb;  // quiet-policy liveness
+        report("TokenCMP-arb", chk.run(TokenModel(cfg)));
+        cfg.variant = TokenVariant::Dst;  // reduced adversary
+        report("TokenCMP-dst", chk.run(TokenModel(cfg)));
+    }
+    {
+        DirModelConfig cfg;
+        cfg.caches = 2;
+        report("Flat-DirectoryCMP", chk.run(DirModel(cfg)));
+    }
+
+    std::printf("\nlarger configurations (3 caches; the persistent-"
+                "request variants exceed tractable bounds here,\n"
+                "the same configuration-explosion wall the paper's "
+                "TLC runs faced):\n");
+    {
+        TokenModelConfig cfg;
+        cfg.caches = 3;
+        cfg.totalTokens = 4;
+        cfg.maxMsgs = 2;
+        cfg.variant = TokenVariant::Safety;
+        report("TokenCMP-safety/3", chk.run(TokenModel(cfg)));
+    }
+    {
+        DirModelConfig cfg;
+        cfg.caches = 3;
+        report("Flat-DirectoryCMP/3", chk.run(DirModel(cfg)));
+    }
+
+    std::printf("\nseeded-bug detection (each must be UNSAFE or "
+                "lose progress):\n");
+    {
+        TokenModelConfig cfg;
+        cfg.caches = 2;
+        cfg.totalTokens = 3;
+        cfg.maxMsgs = 2;
+        cfg.variant = TokenVariant::Safety;
+        cfg.bugWriteWithoutAll = true;
+        report("bug:write-without-all", chk.run(TokenModel(cfg)));
+        cfg.bugWriteWithoutAll = false;
+        cfg.bugOwnerNoData = true;
+        report("bug:owner-no-data", chk.run(TokenModel(cfg)));
+        cfg.bugOwnerNoData = false;
+        cfg.bugDataOnlyMessages = true;
+        report("bug:data-only-msgs", chk.run(TokenModel(cfg)));
+    }
+    {
+        TokenModelConfig cfg;
+        cfg.caches = 2;
+        cfg.totalTokens = 3;
+        cfg.maxMsgs = 2;
+        cfg.variant = TokenVariant::Dst;
+        cfg.bugSkipMemActivate = true;
+        cfg.maxMsgs = 1;
+        cfg.issueLimit = 1;
+        cfg.quietPolicy = true;
+        report("bug:skip-mem-activate", chk.run(TokenModel(cfg)));
+    }
+    {
+        DirModelConfig cfg;
+        cfg.caches = 3;
+        cfg.bugForgetInv = true;
+        report("bug:forget-invalidate", chk.run(DirModel(cfg)));
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Contention study: sweep the lock count of the Table 2 locking
+ * micro-benchmark for one protocol and print runtime, persistent
+ * request usage and traffic — the raw material behind Figures 2/3.
+ *
+ *   $ ./locking_contention [protocol 0..8] [acquires]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "system/system.hh"
+#include "workload/locking.hh"
+
+using namespace tokencmp;
+
+int
+main(int argc, char **argv)
+{
+    const auto protos = allProtocols();
+    unsigned pidx = 5;  // TokenCMP-dst1
+    if (argc > 1)
+        pidx = unsigned(std::atoi(argv[1])) % protos.size();
+    const Protocol proto = protos[pidx];
+    unsigned acquires = 25;
+    if (argc > 2)
+        acquires = unsigned(std::atoi(argv[2]));
+
+    std::printf("protocol: %s, %u acquires per processor\n\n",
+                protocolName(proto), acquires);
+    std::printf("%8s %12s %10s %12s %12s %10s\n", "locks",
+                "runtime(ns)", "L1 misses", "persistents",
+                "inter bytes", "viol");
+
+    for (unsigned locks : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u,
+                           512u}) {
+        SystemConfig cfg;
+        cfg.protocol = proto;
+        System sys(cfg);
+        LockingParams p;
+        p.numLocks = locks;
+        p.acquiresPerProc = acquires;
+        LockingWorkload wl(p);
+        auto res = sys.run(wl);
+        if (!res.completed) {
+            std::printf("%8u DID NOT COMPLETE\n", locks);
+            return 1;
+        }
+        std::printf("%8u %12llu %10.0f %12.0f %12.0f %10llu\n", locks,
+                    (unsigned long long)(res.runtime / ticksPerNs),
+                    res.stats.get("l1.misses"),
+                    res.stats.get("token.persistentIssued"),
+                    res.stats.get("traffic.inter.total"),
+                    (unsigned long long)res.violations);
+    }
+    return 0;
+}

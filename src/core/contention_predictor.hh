@@ -1,0 +1,130 @@
+/**
+ * @file
+ * TokenCMP-dst1-pred contention predictor (Section 4): a four-way
+ * set-associative, 256-entry table of 2-bit saturating counters.
+ * A counter is allocated/incremented when a transient request is
+ * retried (times out); when the counter saturates, the policy skips
+ * the transient request and issues a persistent request immediately.
+ * Counters are reset pseudo-randomly to adapt to phase changes.
+ */
+
+#ifndef TOKENCMP_CORE_CONTENTION_PREDICTOR_HH
+#define TOKENCMP_CORE_CONTENTION_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace tokencmp {
+
+/** 256-entry, 4-way, 2-bit-counter contention predictor. */
+class ContentionPredictor
+{
+  public:
+    explicit ContentionPredictor(unsigned entries = 256,
+                                 unsigned ways = 4)
+        : _ways(ways), _sets(entries / ways),
+          _entries(entries)
+    {}
+
+    /** Should the requester go straight to a persistent request? */
+    bool
+    predictContended(Addr addr) const
+    {
+        const Entry *e = find(addr);
+        return e != nullptr && e->counter >= 2;
+    }
+
+    /** A transient request for `addr` timed out: allocate/increment. */
+    void
+    recordRetry(Addr addr, Random &rng)
+    {
+        Entry *e = find(addr);
+        if (e == nullptr)
+            e = allocate(addr);
+        if (e->counter < 3)
+            ++e->counter;
+        // Pseudo-random reset for phase adaptation.
+        if (rng.chance(1.0 / 64.0)) {
+            Entry &victim =
+                _entries[rng.uniform(_entries.size())];
+            victim.counter = 0;
+        }
+    }
+
+    /** A transient request succeeded without retry: mild decay. */
+    void
+    recordSuccess(Addr addr)
+    {
+        Entry *e = find(addr);
+        if (e != nullptr && e->counter > 0)
+            --e->counter;
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint8_t counter = 0;
+        std::uint64_t lru = 0;
+    };
+
+    std::size_t
+    setIndex(Addr addr) const
+    {
+        return static_cast<std::size_t>(blockNumber(addr)) % _sets;
+    }
+
+    const Entry *
+    find(Addr addr) const
+    {
+        const Addr blk = blockAlign(addr);
+        const std::size_t base = setIndex(addr) * _ways;
+        for (unsigned w = 0; w < _ways; ++w) {
+            const Entry &e = _entries[base + w];
+            if (e.valid && e.tag == blk)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    Entry *
+    find(Addr addr)
+    {
+        return const_cast<Entry *>(
+            static_cast<const ContentionPredictor *>(this)->find(addr));
+    }
+
+    Entry *
+    allocate(Addr addr)
+    {
+        const std::size_t base = setIndex(addr) * _ways;
+        Entry *victim = &_entries[base];
+        for (unsigned w = 0; w < _ways; ++w) {
+            Entry &e = _entries[base + w];
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (e.lru < victim->lru)
+                victim = &e;
+        }
+        victim->valid = true;
+        victim->tag = blockAlign(addr);
+        victim->counter = 0;
+        victim->lru = ++_useCounter;
+        return victim;
+    }
+
+    unsigned _ways;
+    std::size_t _sets;
+    std::vector<Entry> _entries;
+    std::uint64_t _useCounter = 0;
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_CORE_CONTENTION_PREDICTOR_HH

@@ -1,0 +1,67 @@
+#include "core/persistent_table.hh"
+
+#include "sim/logging.hh"
+
+namespace tokencmp {
+
+void
+PersistentTable::insert(unsigned proc, Addr addr, bool is_read,
+                        const MachineID &initiator, std::uint64_t seq)
+{
+    Entry &e = _entries.at(proc);
+    e.valid = true;
+    e.marked = false;
+    e.isRead = is_read;
+    e.addr = blockAlign(addr);
+    e.initiator = initiator;
+    e.seq = seq;
+}
+
+void
+PersistentTable::erase(unsigned proc)
+{
+    _entries.at(proc) = Entry{};
+}
+
+int
+PersistentTable::activeFor(Addr addr) const
+{
+    const Addr blk = blockAlign(addr);
+    for (unsigned p = 0; p < _entries.size(); ++p) {
+        if (_entries[p].valid && _entries[p].addr == blk)
+            return static_cast<int>(p);
+    }
+    return -1;
+}
+
+void
+PersistentTable::markAllFor(Addr addr)
+{
+    const Addr blk = blockAlign(addr);
+    for (auto &e : _entries) {
+        if (e.valid && e.addr == blk)
+            e.marked = true;
+    }
+}
+
+bool
+PersistentTable::anyMarkedFor(Addr addr) const
+{
+    const Addr blk = blockAlign(addr);
+    for (const auto &e : _entries) {
+        if (e.valid && e.marked && e.addr == blk)
+            return true;
+    }
+    return false;
+}
+
+unsigned
+PersistentTable::numValid() const
+{
+    unsigned n = 0;
+    for (const auto &e : _entries)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace tokencmp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * TokenCMP-dst1-filt approximate L1-sharer directory (Section 4).
+ *
+ * Each L2 bank remembers which local L1 caches recently held tokens
+ * for a block and forwards *external transient requests* only to
+ * those caches, saving intra-CMP request bandwidth. The filter may be
+ * arbitrarily wrong without affecting correctness: the substrate's
+ * token counting provides safety and persistent requests (which are
+ * never filtered) provide starvation freedom — unlike conventional
+ * coherence filters, which break the protocol if they over-filter.
+ */
+
+#ifndef TOKENCMP_CORE_SHARER_FILTER_HH
+#define TOKENCMP_CORE_SHARER_FILTER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace tokencmp {
+
+/** Approximate per-block bitmask of local L1 token holders. */
+class SharerFilter
+{
+  public:
+    explicit SharerFilter(std::size_t max_entries = 8192)
+        : _maxEntries(max_entries)
+    {}
+
+    /** Note that local L1 slot `slot` may now hold tokens. */
+    void
+    addSharer(Addr addr, unsigned slot)
+    {
+        if (_map.size() >= _maxEntries && !_map.count(blockAlign(addr)))
+            _map.clear();  // coarse but safe: filter is approximate
+        _map[blockAlign(addr)] |= (1u << slot);
+    }
+
+    /** Note that local L1 slot `slot` gave up its tokens. */
+    void
+    removeSharer(Addr addr, unsigned slot)
+    {
+        auto it = _map.find(blockAlign(addr));
+        if (it != _map.end())
+            it->second &= ~(1u << slot);
+    }
+
+    /**
+     * Bitmask of local L1 slots an external transient request should
+     * be forwarded to. Unknown blocks return 0 (forward to nobody):
+     * if the block were on chip, the L2 would have seen its fills.
+     */
+    std::uint32_t
+    sharers(Addr addr) const
+    {
+        auto it = _map.find(blockAlign(addr));
+        return it == _map.end() ? 0u : it->second;
+    }
+
+    std::size_t size() const { return _map.size(); }
+
+  private:
+    std::size_t _maxEntries;
+    std::unordered_map<Addr, std::uint32_t> _map;
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_CORE_SHARER_FILTER_HH

@@ -1,0 +1,76 @@
+#include "cpu/sequencer.hh"
+
+#include "sim/logging.hh"
+
+namespace tokencmp {
+
+void
+Sequencer::issue(MemRequest req, bool to_icache)
+{
+    if (_busy)
+        panic("sequencer %u: issuing while an op is outstanding",
+              _procId);
+    L1CacheIF *target = to_icache ? _icache : _dcache;
+    if (target == nullptr)
+        panic("sequencer %u: not bound to an L1", _procId);
+
+    _busy = true;
+    req.addr = blockAlign(req.addr);
+    req.issued = _ctx.now();
+
+    auto user_cb = std::move(req.callback);
+    req.callback = [this, user_cb](const MemResult &res) {
+        _busy = false;
+        ++_opsCompleted;
+        _latency.add(static_cast<double>(res.latency));
+        user_cb(res);
+    };
+    target->cpuRequest(req);
+}
+
+void
+Sequencer::load(Addr a, std::function<void(const MemResult &)> cb)
+{
+    MemRequest r;
+    r.addr = a;
+    r.op = MemOp::Load;
+    r.callback = std::move(cb);
+    issue(std::move(r), false);
+}
+
+void
+Sequencer::store(Addr a, std::uint64_t v,
+                 std::function<void(const MemResult &)> cb)
+{
+    MemRequest r;
+    r.addr = a;
+    r.op = MemOp::Store;
+    r.operand = v;
+    r.callback = std::move(cb);
+    issue(std::move(r), false);
+}
+
+void
+Sequencer::atomic(Addr a,
+                  std::function<std::uint64_t(std::uint64_t)> rmw,
+                  std::function<void(const MemResult &)> cb)
+{
+    MemRequest r;
+    r.addr = a;
+    r.op = MemOp::Atomic;
+    r.rmw = std::move(rmw);
+    r.callback = std::move(cb);
+    issue(std::move(r), false);
+}
+
+void
+Sequencer::ifetch(Addr a, std::function<void(const MemResult &)> cb)
+{
+    MemRequest r;
+    r.addr = a;
+    r.op = MemOp::Ifetch;
+    r.callback = std::move(cb);
+    issue(std::move(r), true);
+}
+
+} // namespace tokencmp

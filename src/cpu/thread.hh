@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Continuation-based workload thread contexts.
+ *
+ * Workloads (Table 2 micro-benchmarks, synthetic commercial proxies)
+ * are written as small continuation-passing programs over think(),
+ * load(), store() and atomic RMW primitives running on a simulated
+ * processor's sequencer.
+ */
+
+#ifndef TOKENCMP_CPU_THREAD_HH
+#define TOKENCMP_CPU_THREAD_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "cpu/sequencer.hh"
+#include "net/controller.hh"
+#include "sim/random.hh"
+
+namespace tokencmp {
+
+/**
+ * Base class for one software thread pinned to one processor.
+ *
+ * Derived classes implement start() and chain the protected
+ * primitives; they call finish() when their share of work completes.
+ */
+class ThreadContext
+{
+  public:
+    ThreadContext(SimContext &ctx, Sequencer &seq)
+        : _ctx(ctx), _seq(seq), _rng(0x5eed0000 + seq.procId())
+    {}
+    virtual ~ThreadContext() = default;
+
+    ThreadContext(const ThreadContext &) = delete;
+    ThreadContext &operator=(const ThreadContext &) = delete;
+
+    /** Begin executing; the thread schedules its own continuations. */
+    virtual void start() = 0;
+
+    bool done() const { return _done; }
+    unsigned procId() const { return _seq.procId(); }
+    Tick finishTick() const { return _finishTick; }
+
+    /** Re-seed this thread's private RNG (multi-seed methodology). */
+    void reseed(std::uint64_t s) { _rng.reseed(s); }
+
+  protected:
+    /** Spend `dur` ticks of compute, then continue. */
+    void
+    think(Tick dur, std::function<void()> k)
+    {
+        _ctx.eventq.schedule(dur, std::move(k));
+    }
+
+    void
+    load(Addr a, std::function<void(std::uint64_t)> k)
+    {
+        _seq.load(a, [k = std::move(k)](const MemResult &r) {
+            k(r.value);
+        });
+    }
+
+    void
+    store(Addr a, std::uint64_t v, std::function<void()> k)
+    {
+        _seq.store(a, v, [k = std::move(k)](const MemResult &) { k(); });
+    }
+
+    /** Atomic fetch-and-modify; continuation receives the old value. */
+    void
+    atomic(Addr a, std::function<std::uint64_t(std::uint64_t)> rmw,
+           std::function<void(std::uint64_t)> k)
+    {
+        _seq.atomic(a, std::move(rmw),
+                    [k = std::move(k)](const MemResult &r) {
+                        k(r.value);
+                    });
+    }
+
+    /** Test-and-set: sets the block to 1, old value to continuation. */
+    void
+    testAndSet(Addr a, std::function<void(std::uint64_t)> k)
+    {
+        atomic(a, [](std::uint64_t) { return std::uint64_t(1); },
+               std::move(k));
+    }
+
+    void
+    ifetch(Addr a, std::function<void()> k)
+    {
+        _seq.ifetch(a, [k = std::move(k)](const MemResult &) { k(); });
+    }
+
+    /** Mark this thread complete. */
+    void
+    finish()
+    {
+        _done = true;
+        _finishTick = _ctx.now();
+    }
+
+    SimContext &_ctx;
+    Sequencer &_seq;
+    Random _rng;
+
+  private:
+    bool _done = false;
+    Tick _finishTick = 0;
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_CPU_THREAD_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Shared state for DirectoryCMP controllers.
+ */
+
+#ifndef TOKENCMP_DIRECTORY_DIR_COMMON_HH
+#define TOKENCMP_DIRECTORY_DIR_COMMON_HH
+
+#include "directory/dir_config.hh"
+#include "mem/backing_store.hh"
+
+namespace tokencmp {
+
+/** State shared by every controller of one DirectoryCMP system. */
+struct DirGlobals
+{
+    explicit DirGlobals(const DirParams &p) : params(p) {}
+
+    DirParams params;
+    BackingStore store;
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_DIRECTORY_DIR_COMMON_HH

@@ -1,0 +1,41 @@
+#include "directory/dir_state.hh"
+
+namespace tokencmp {
+
+const char *
+l1StateName(L1State s)
+{
+    switch (s) {
+      case L1State::I: return "I";
+      case L1State::S: return "S";
+      case L1State::E: return "E";
+      case L1State::M: return "M";
+    }
+    return "?";
+}
+
+const char *
+chipStateName(ChipState s)
+{
+    switch (s) {
+      case ChipState::I: return "I";
+      case ChipState::S: return "S";
+      case ChipState::O: return "O";
+      case ChipState::M: return "M";
+    }
+    return "?";
+}
+
+const char *
+dirStateName(DirState s)
+{
+    switch (s) {
+      case DirState::Uncached: return "Uncached";
+      case DirState::Shared: return "Shared";
+      case DirState::Owned: return "Owned";
+      case DirState::Modified: return "Modified";
+    }
+    return "?";
+}
+
+} // namespace tokencmp

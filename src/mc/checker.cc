@@ -1,0 +1,162 @@
+#include "mc/checker.hh"
+
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
+namespace tokencmp::mc {
+
+namespace {
+
+struct StateHash
+{
+    std::size_t
+    operator()(const State &s) const
+    {
+        // FNV-1a over the serialized state.
+        std::size_t h = 1469598103934665603ull;
+        for (std::uint8_t b : s) {
+            h ^= b;
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+};
+
+} // namespace
+
+CheckResult
+Checker::run(const Model &model) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    CheckResult res;
+
+    std::unordered_map<State, std::uint64_t, StateHash> index;
+    std::vector<std::vector<std::uint32_t>> preds;  //!< reverse edges
+    std::vector<std::uint32_t> parent;     //!< BFS tree (traces)
+    std::vector<State> stateOf;            //!< id -> state
+    std::vector<std::uint8_t> obligation;  //!< carries an obligation
+    std::vector<std::uint8_t> satisfied;   //!< obligations all met
+    std::deque<std::pair<State, unsigned>> frontier;
+
+    auto intern = [&](const State &s) -> std::pair<std::uint64_t, bool> {
+        auto it = index.find(s);
+        if (it != index.end())
+            return {it->second, false};
+        const std::uint64_t id = index.size();
+        index.emplace(s, id);
+        preds.emplace_back();
+        parent.push_back(~std::uint32_t(0));
+        stateOf.push_back(s);
+        obligation.push_back(model.hasObligation(s) ? 1 : 0);
+        satisfied.push_back(model.obligationMet(s) ? 1 : 0);
+        return {id, true};
+    };
+
+    bool failed = false;
+    for (const State &s : model.initialStates()) {
+        const auto [id, fresh] = intern(s);
+        (void)id;
+        if (fresh) {
+            const std::string v = model.invariant(s);
+            if (!v.empty()) {
+                res.violation = "initial state: " + v;
+                failed = true;
+            }
+            frontier.emplace_back(s, 0);
+        }
+    }
+
+    std::vector<State> succs;
+    bool deadlock = false;
+    while (!frontier.empty() && !failed) {
+        auto [s, depth] = std::move(frontier.front());
+        frontier.pop_front();
+        res.diameter = std::max(res.diameter, depth);
+        const std::uint64_t sid = index.at(s);
+
+        succs.clear();
+        model.successors(s, succs);
+        if (succs.empty() && !model.quiescent(s)) {
+            res.violation = "deadlock: non-quiescent state with no "
+                            "successors";
+            deadlock = true;
+            break;
+        }
+        for (State &n : succs) {
+            ++res.transitions;
+            const auto [nid, fresh] = intern(n);
+            preds[nid].push_back(std::uint32_t(sid));
+            if (!fresh)
+                continue;
+            parent[nid] = std::uint32_t(sid);
+            const std::string v = model.invariant(n);
+            if (!v.empty()) {
+                res.violation = v;
+                failed = true;
+                break;
+            }
+            if (index.size() > _maxStates) {
+                res.violation = "state bound exceeded";
+                failed = true;
+                break;
+            }
+            frontier.emplace_back(std::move(n), depth + 1);
+        }
+    }
+
+    res.states = index.size();
+    res.safe = !failed && res.violation.empty();
+    res.deadlockFree = !deadlock && res.safe;
+    res.completed = res.safe && !deadlock;
+
+    // Progress: every obligation-carrying state must be able to reach
+    // a state where the obligation is satisfied (EF satisfied), checked
+    // via backward reachability from all satisfied states.
+    if (res.completed) {
+        std::vector<std::uint8_t> can_reach(index.size(), 0);
+        std::deque<std::uint64_t> work;
+        for (std::uint64_t i = 0; i < index.size(); ++i) {
+            if (satisfied[i]) {
+                can_reach[i] = 1;
+                work.push_back(i);
+            }
+        }
+        while (!work.empty()) {
+            const std::uint64_t i = work.front();
+            work.pop_front();
+            for (std::uint32_t p : preds[i]) {
+                if (!can_reach[p]) {
+                    can_reach[p] = 1;
+                    work.push_back(p);
+                }
+            }
+        }
+        res.progress = true;
+        for (std::uint64_t i = 0; i < index.size(); ++i) {
+            if (obligation[i] && !can_reach[i]) {
+                res.progress = false;
+                res.violation =
+                    "progress: an obligation can never be satisfied";
+                // Reconstruct the BFS path to the stuck state.
+                std::vector<std::uint64_t> path;
+                for (std::uint64_t v = i; v != ~std::uint32_t(0);
+                     v = parent[v]) {
+                    path.push_back(v);
+                    if (parent[v] == ~std::uint32_t(0))
+                        break;
+                }
+                for (auto it = path.rbegin(); it != path.rend(); ++it)
+                    res.trace.push_back(model.describe(stateOf[*it]));
+                break;
+            }
+        }
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    res.seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return res;
+}
+
+} // namespace tokencmp::mc

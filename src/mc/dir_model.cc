@@ -1,0 +1,563 @@
+#include "mc/dir_model.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace tokencmp::mc {
+
+namespace {
+
+constexpr unsigned kCaches = 4;
+constexpr unsigned kMsgs = 8;
+
+// Cache states.
+enum : std::uint8_t {
+    I = 0,
+    S = 1,
+    M = 2,
+    IS_D = 3,   //!< GetS outstanding
+    IM_D = 4,   //!< GetX outstanding (collecting data + acks)
+    MI_WB = 5,  //!< writeback awaiting grant (still owner)
+    WB_CANC = 6 //!< lost the block while awaiting grant
+};
+
+// Directory states.
+enum : std::uint8_t { DU = 0, DS = 1, DM = 2 };
+
+// Message types.
+enum : std::uint8_t {
+    MGetS = 0,
+    MGetX,
+    MData,      //!< shared data grant
+    MDataEx,    //!< exclusive data grant (acks field)
+    MFwdS,
+    MFwdX,
+    MInv,
+    MInvAck,
+    MUnblock,
+    MUnblockEx,
+    MWbReq,
+    MWbGrant,
+    MWbData,
+    MWbCancel,
+    MWbShare,   //!< owner shares dirty data back to memory
+};
+
+struct MsgSt
+{
+    std::uint8_t used = 0;
+    std::uint8_t type = 0;
+    std::uint8_t to = 0;    //!< cache index, or 0xff = home
+    std::uint8_t from = 0;  //!< original requester / sender
+    std::uint8_t value = 0;
+    std::uint8_t acks = 0;
+
+    bool
+    operator<(const MsgSt &o) const
+    {
+        return std::memcmp(this, &o, sizeof(MsgSt)) < 0;
+    }
+};
+
+constexpr std::uint8_t kHome = 0xff;
+
+} // namespace
+
+struct DirModel::Packed
+{
+    std::uint8_t cstate[kCaches] = {};
+    std::uint8_t cvalue[kCaches] = {};
+    std::uint8_t acksNeeded[kCaches] = {};
+    std::uint8_t acksGot[kCaches] = {};
+    std::uint8_t hasData[kCaches] = {};
+    std::uint8_t wbPending[kCaches] = {};  //!< WbReq awaiting grant
+
+    std::uint8_t dirState = DU;
+    std::uint8_t presence = 0;
+    std::uint8_t owner = 0;  //!< cache index + 1, 0 = none
+    std::uint8_t busy = 0;
+    std::uint8_t pendingShare = 0;   //!< sharing writeback due
+    std::uint8_t pendingUnblock = 0; //!< unblock due
+    std::uint8_t memValue = 0;
+    std::uint8_t globalValue = 0;
+    std::uint8_t poison = 0; //!< impossible reception observed
+
+    MsgSt msg[kMsgs];
+
+    State
+    serialize() const
+    {
+        Packed copy = *this;
+        std::sort(copy.msg, copy.msg + kMsgs);
+        State s(sizeof(Packed));
+        std::memcpy(s.data(), &copy, sizeof(Packed));
+        return s;
+    }
+
+    static Packed
+    parse(const State &s)
+    {
+        Packed p;
+        std::memcpy(&p, s.data(), sizeof(Packed));
+        return p;
+    }
+
+    int
+    freeSlot(unsigned max_msgs) const
+    {
+        unsigned used = 0;
+        int free_slot = -1;
+        for (unsigned m = 0; m < kMsgs; ++m) {
+            if (msg[m].used)
+                ++used;
+            else if (free_slot < 0)
+                free_slot = int(m);
+        }
+        return used < max_msgs ? free_slot : -1;
+    }
+
+    unsigned
+    freeSlots(unsigned max_msgs) const
+    {
+        unsigned used = 0;
+        for (unsigned m = 0; m < kMsgs; ++m)
+            used += msg[m].used ? 1 : 0;
+        return max_msgs > used ? max_msgs - used : 0;
+    }
+
+    int
+    put(unsigned max_msgs, std::uint8_t type, std::uint8_t to,
+        std::uint8_t from, std::uint8_t value = 0,
+        std::uint8_t acks = 0)
+    {
+        const int slot = freeSlot(max_msgs);
+        if (slot < 0)
+            return -1;
+        msg[slot] = MsgSt{1, type, to, from, value, acks};
+        return slot;
+    }
+};
+
+DirModel::DirModel(const DirModelConfig &cfg) : _cfg(cfg)
+{
+    if (cfg.caches > kCaches || cfg.maxMsgs > kMsgs)
+        fatal("DirModel: configuration exceeds packed limits");
+}
+
+std::vector<State>
+DirModel::initialStates() const
+{
+    Packed p;
+    return {p.serialize()};
+}
+
+std::string
+DirModel::invariant(const State &s) const
+{
+    const Packed p = Packed::parse(s);
+    if (p.poison)
+        return "invalidation delivered to an exclusive holder";
+    unsigned writers = 0;
+    unsigned readers = 0;
+    for (unsigned i = 0; i < _cfg.caches; ++i) {
+        const std::uint8_t st = p.cstate[i];
+        if (st == M || st == MI_WB)
+            ++writers;
+        if (st == S)
+            ++readers;
+        if ((st == S || st == M || st == MI_WB) &&
+            p.cvalue[i] != p.globalValue) {
+            return "readable cache holds stale data";
+        }
+    }
+    if (writers > 1)
+        return "multiple exclusive holders";
+    if (writers == 1 && readers > 0)
+        return "reader coexists with a writer";
+    if (p.dirState == DU && p.owner == 0 && !p.busy) {
+        bool in_flight = false;
+        for (unsigned m = 0; m < kMsgs; ++m)
+            in_flight |= p.msg[m].used != 0;
+        if (!in_flight && writers == 0) {
+            // Memory is the owner of record: its image must be
+            // current unless a cache still holds the block.
+            bool any_cached = false;
+            for (unsigned i = 0; i < _cfg.caches; ++i)
+                any_cached |= p.cstate[i] != I;
+            if (!any_cached && p.memValue != p.globalValue)
+                return "memory stale at quiescence";
+        }
+    }
+    return "";
+}
+
+bool
+DirModel::hasObligation(const State &s) const
+{
+    const Packed p = Packed::parse(s);
+    for (unsigned i = 0; i < _cfg.caches; ++i) {
+        const std::uint8_t st = p.cstate[i];
+        if (st == IS_D || st == IM_D || st == MI_WB || st == WB_CANC)
+            return true;
+        if (p.wbPending[i])
+            return true;
+    }
+    return false;
+}
+
+bool
+DirModel::obligationMet(const State &s) const
+{
+    return !hasObligation(s);
+}
+
+std::string
+DirModel::describe(const State &s) const
+{
+    static const char *cs[] = {"I",    "S",    "M",     "IS_D",
+                               "IM_D", "MI_WB", "WB_CANC"};
+    static const char *ds[] = {"U", "S", "M"};
+    static const char *ms[] = {"GetS",    "GetX",    "Data",
+                               "DataEx",  "FwdS",    "FwdX",
+                               "Inv",     "InvAck",  "Unblock",
+                               "UnblockEx", "WbReq", "WbGrant",
+                               "WbData",  "WbCancel", "WbShare"};
+    const Packed p = Packed::parse(s);
+    std::string out;
+    char buf[96];
+    for (unsigned i = 0; i < _cfg.caches; ++i) {
+        std::snprintf(buf, sizeof(buf), "c%u=%s(v%u,a%u/%u,d%u) ", i,
+                      cs[p.cstate[i]], p.cvalue[i], p.acksGot[i],
+                      p.acksNeeded[i], p.hasData[i]);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "dir=%s own=%d pres=%x busy=%u(s%u,u%u) mem=%u g=%u |",
+                  ds[p.dirState], int(p.owner) - 1, p.presence, p.busy,
+                  p.pendingShare, p.pendingUnblock, p.memValue,
+                  p.globalValue);
+    out += buf;
+    for (unsigned m = 0; m < kMsgs; ++m) {
+        if (!p.msg[m].used)
+            continue;
+        std::snprintf(buf, sizeof(buf), " %s->%d(f%u,v%u,a%u)",
+                      ms[p.msg[m].type],
+                      p.msg[m].to == kHome ? -1 : int(p.msg[m].to),
+                      p.msg[m].from, p.msg[m].value, p.msg[m].acks);
+        out += buf;
+    }
+    return out;
+}
+
+void
+DirModel::successors(const State &s, std::vector<State> &out) const
+{
+    const Packed base = Packed::parse(s);
+    const unsigned n = _cfg.caches;
+    const unsigned mm = _cfg.maxMsgs;
+
+    auto emit = [&](const Packed &p) { out.push_back(p.serialize()); };
+
+    // --- Processor-initiated requests. ---
+    for (unsigned i = 0; i < n; ++i) {
+        const std::uint8_t st = base.cstate[i];
+        if (st == I || st == S) {
+            if (st == I) {
+                Packed p = base;
+                if (p.put(mm, MGetS, kHome, std::uint8_t(i)) >= 0) {
+                    p.cstate[i] = IS_D;
+                    emit(p);
+                }
+            }
+            {
+                Packed p = base;
+                if (p.put(mm, MGetX, kHome, std::uint8_t(i)) >= 0) {
+                    p.cstate[i] = IM_D;
+                    p.hasData[i] = 0;
+                    p.acksNeeded[i] = 0xff;  // unknown until data
+                    p.acksGot[i] = 0;
+                    emit(p);
+                }
+            }
+        }
+        if (st == M) {
+            // Write hit: exercise the data path.
+            Packed p = base;
+            p.globalValue ^= 1;
+            p.cvalue[i] = p.globalValue;
+            emit(p);
+            // Three-phase writeback (one outstanding per cache, as
+            // in hardware: the L1 blocks re-access to a block whose
+            // writeback is still in its request/grant window).
+            if (!base.wbPending[i]) {
+                Packed q = base;
+                if (q.put(mm, MWbReq, kHome, std::uint8_t(i)) >= 0) {
+                    q.cstate[i] = MI_WB;
+                    q.wbPending[i] = 1;
+                    emit(q);
+                }
+            }
+        }
+    }
+
+    // --- Message deliveries. ---
+    for (unsigned m = 0; m < kMsgs; ++m) {
+        if (!base.msg[m].used)
+            continue;
+        const MsgSt msg = base.msg[m];
+
+        if (msg.to == kHome) {
+            // Home deliveries.
+            Packed p = base;
+            p.msg[m] = MsgSt{};
+            switch (msg.type) {
+              case MGetS:
+                if (base.busy)
+                    continue;  // deferred: stays in flight
+                if (p.dirState == DM) {
+                    if (p.put(mm, MFwdS, std::uint8_t(p.owner - 1),
+                              msg.from) < 0)
+                        continue;
+                    p.busy = 1;
+                    // The transaction completes only once both the
+                    // requester's unblock and the owner's sharing
+                    // writeback have arrived; otherwise a late
+                    // WbShare could clobber a newer memory image.
+                    p.pendingShare = 1;
+                    p.pendingUnblock = 1;
+                } else {
+                    if (p.put(mm, MData, msg.from, msg.from,
+                              p.memValue) < 0)
+                        continue;
+                    p.busy = 1;
+                    p.pendingUnblock = 1;
+                }
+                emit(p);
+                break;
+
+              case MGetX: {
+                if (base.busy)
+                    continue;
+                if (p.dirState == DM) {
+                    if (p.put(mm, MFwdX, std::uint8_t(p.owner - 1),
+                              msg.from) < 0)
+                        continue;
+                    p.busy = 1;
+                    p.pendingUnblock = 1;
+                    emit(p);
+                    break;
+                }
+                // Uncached/Shared: invalidate sharers, data from mem.
+                std::uint8_t invs =
+                    p.presence & ~std::uint8_t(1u << msg.from);
+                if (_cfg.bugForgetInv && invs != 0) {
+                    // Drop the highest sharer's invalidation.
+                    for (int b = int(n) - 1; b >= 0; --b) {
+                        if (invs & (1u << b)) {
+                            invs &= std::uint8_t(~(1u << b));
+                            break;
+                        }
+                    }
+                }
+                const unsigned acks = std::popcount(invs);
+                if (p.freeSlots(mm) < acks + 1)
+                    continue;
+                for (unsigned j = 0; j < n; ++j) {
+                    if (invs & (1u << j))
+                        p.put(mm, MInv, std::uint8_t(j), msg.from);
+                }
+                p.put(mm, MDataEx, msg.from, msg.from, p.memValue,
+                      std::uint8_t(acks));
+                p.presence &= std::uint8_t(1u << msg.from);
+                p.busy = 1;
+                p.pendingUnblock = 1;
+                emit(p);
+                break;
+              }
+
+              case MUnblock:
+                p.presence |= std::uint8_t(1u << msg.from);
+                if (p.owner != 0)
+                    p.presence |=
+                        std::uint8_t(1u << (p.owner - 1));
+                p.owner = 0;
+                p.dirState = DS;
+                p.pendingUnblock = 0;
+                p.busy = p.pendingShare;
+                emit(p);
+                break;
+
+              case MUnblockEx:
+                p.dirState = DM;
+                p.owner = std::uint8_t(msg.from + 1);
+                p.presence = 0;
+                p.pendingUnblock = 0;
+                p.busy = p.pendingShare;
+                emit(p);
+                break;
+
+              case MWbReq:
+                if (base.busy)
+                    continue;
+                if (p.put(mm, MWbGrant, msg.from, msg.from) < 0)
+                    continue;
+                p.busy = 1;
+                emit(p);
+                break;
+
+              case MWbData:
+                if (p.dirState == DM && p.owner == msg.from + 1) {
+                    p.memValue = msg.value;
+                    p.dirState = DU;
+                    p.owner = 0;
+                }
+                p.busy = 0;
+                emit(p);
+                break;
+
+              case MWbCancel:
+                p.busy = 0;
+                emit(p);
+                break;
+
+              case MWbShare:
+                p.memValue = msg.value;
+                p.pendingShare = 0;
+                p.busy = p.pendingUnblock;
+                emit(p);
+                break;
+
+              default:
+                panic("dir model: bad home message");
+            }
+            continue;
+        }
+
+        // Cache deliveries.
+        const unsigned i = msg.to;
+        Packed p = base;
+        p.msg[m] = MsgSt{};
+        switch (msg.type) {
+          case MData:
+            p.cstate[i] = S;
+            p.cvalue[i] = msg.value;
+            if (p.put(mm, MUnblock, kHome, std::uint8_t(i)) < 0)
+                continue;
+            emit(p);
+            break;
+
+          case MDataEx:
+            p.hasData[i] = 1;
+            p.cvalue[i] = msg.value;
+            p.acksNeeded[i] = msg.acks;
+            if (p.acksGot[i] >= p.acksNeeded[i]) {
+                if (p.put(mm, MUnblockEx, kHome, std::uint8_t(i)) < 0)
+                    continue;
+                p.cstate[i] = M;
+                p.globalValue ^= 1;  // the write completes
+                p.cvalue[i] = p.globalValue;
+                p.hasData[i] = 0;
+                p.acksNeeded[i] = 0;
+                p.acksGot[i] = 0;
+            }
+            emit(p);
+            break;
+
+          case MInv: {
+            if (p.cstate[i] == S)
+                p.cstate[i] = I;
+            else if (p.cstate[i] == M || p.cstate[i] == MI_WB)
+                p.poison = 1;  // surfaced by the invariant check
+            if (p.put(mm, MInvAck, msg.from, std::uint8_t(i)) < 0)
+                continue;
+            emit(p);
+            break;
+          }
+
+          case MInvAck:
+            p.acksGot[i] += 1;
+            if (p.cstate[i] == IM_D && p.hasData[i] &&
+                p.acksGot[i] >= p.acksNeeded[i]) {
+                if (p.put(mm, MUnblockEx, kHome, std::uint8_t(i)) < 0)
+                    continue;
+                p.cstate[i] = M;
+                p.globalValue ^= 1;
+                p.cvalue[i] = p.globalValue;
+                p.hasData[i] = 0;
+                p.acksNeeded[i] = 0;
+                p.acksGot[i] = 0;
+            }
+            emit(p);
+            break;
+
+          case MFwdS:
+            if (p.cstate[i] == M) {
+                if (p.freeSlots(mm) < 2)
+                    continue;
+                p.put(mm, MData, msg.from, msg.from, p.cvalue[i]);
+                p.put(mm, MWbShare, kHome, std::uint8_t(i),
+                      p.cvalue[i]);
+                p.cstate[i] = S;
+            } else if (p.cstate[i] == MI_WB) {
+                if (p.freeSlots(mm) < 2)
+                    continue;
+                p.put(mm, MData, msg.from, msg.from, p.cvalue[i]);
+                p.put(mm, MWbShare, kHome, std::uint8_t(i),
+                      p.cvalue[i]);
+                // Downgraded: the pending writeback gets cancelled
+                // when its grant arrives (see the WbGrant S case).
+                p.cstate[i] = S;
+            } else {
+                panic("dir model: FwdS to non-owner");
+            }
+            emit(p);
+            break;
+
+          case MFwdX:
+            if (p.cstate[i] == M) {
+                if (p.put(mm, MDataEx, msg.from, msg.from,
+                          p.cvalue[i]) < 0)
+                    continue;
+                p.cstate[i] = I;
+            } else if (p.cstate[i] == MI_WB) {
+                if (p.put(mm, MDataEx, msg.from, msg.from,
+                          p.cvalue[i]) < 0)
+                    continue;
+                p.cstate[i] = WB_CANC;
+            } else {
+                panic("dir model: FwdX to non-owner");
+            }
+            emit(p);
+            break;
+
+          case MWbGrant:
+            p.wbPending[i] = 0;
+            if (p.cstate[i] == MI_WB) {
+                if (p.put(mm, MWbData, kHome, std::uint8_t(i),
+                          p.cvalue[i]) < 0)
+                    continue;
+                p.cstate[i] = I;
+            } else if (p.cstate[i] == WB_CANC) {
+                if (p.put(mm, MWbCancel, kHome, std::uint8_t(i)) < 0)
+                    continue;
+                p.cstate[i] = I;
+            } else {
+                // The block was downgraded/invalidated (or even
+                // re-acquired) while the grant was in flight: cancel.
+                if (p.put(mm, MWbCancel, kHome, std::uint8_t(i)) < 0)
+                    continue;
+            }
+            emit(p);
+            break;
+
+          default:
+            panic("dir model: bad cache message");
+        }
+    }
+}
+
+} // namespace tokencmp::mc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Model-checking interface (Section 5).
+ *
+ * The paper verifies the token coherence *correctness substrate* with
+ * TLA+/TLC, modeling a nondeterministic performance policy so that the
+ * result covers every possible performance protocol. This module
+ * provides the same methodology with a from-scratch explicit-state
+ * checker: models expose initial states, successor generation and
+ * invariants over serialized states.
+ */
+
+#ifndef TOKENCMP_MC_MODEL_HH
+#define TOKENCMP_MC_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tokencmp::mc {
+
+/** A serialized model state. */
+using State = std::vector<std::uint8_t>;
+
+/** Abstract protocol model. */
+class Model
+{
+  public:
+    virtual ~Model() = default;
+
+    virtual std::string name() const = 0;
+
+    /** All initial states. */
+    virtual std::vector<State> initialStates() const = 0;
+
+    /** Append all successors of `s` to `out`. */
+    virtual void successors(const State &s,
+                            std::vector<State> &out) const = 0;
+
+    /**
+     * Check safety invariants; return an empty string when satisfied,
+     * otherwise a description of the violation.
+     */
+    virtual std::string invariant(const State &s) const = 0;
+
+    /** True if `s` may legitimately have no successors. */
+    virtual bool quiescent(const State &s) const = 0;
+
+    /**
+     * Progress obligations (starvation freedom, checked as
+     * reachability): does `s` carry an unsatisfied obligation, and is
+     * `s` a state where all obligations are satisfied?
+     */
+    virtual bool hasObligation(const State &) const { return false; }
+    virtual bool obligationMet(const State &s) const
+    {
+        return !hasObligation(s);
+    }
+
+    /** Human-readable rendering of a state (counterexample traces). */
+    virtual std::string describe(const State &) const { return ""; }
+};
+
+} // namespace tokencmp::mc
+
+#endif // TOKENCMP_MC_MODEL_HH

@@ -1,0 +1,730 @@
+#include "mc/token_model.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace tokencmp::mc {
+
+namespace {
+
+constexpr unsigned kMaxCaches = 4;
+constexpr unsigned kMaxMsgs = 3;
+constexpr std::uint8_t kMem = 0xff;  //!< dst code for memory
+
+struct NodeSt
+{
+    std::uint8_t tokens = 0;
+    std::uint8_t owner = 0;
+    std::uint8_t valid = 0;
+    std::uint8_t value = 0;
+};
+
+struct MsgSt
+{
+    std::uint8_t used = 0;
+    std::uint8_t dst = 0;      //!< cache index or kMem
+    std::uint8_t tokens = 0;
+    std::uint8_t owner = 0;
+    std::uint8_t hasData = 0;
+    std::uint8_t value = 0;
+
+    bool
+    operator<(const MsgSt &o) const
+    {
+        return std::memcmp(this, &o, sizeof(MsgSt)) < 0;
+    }
+};
+
+} // namespace
+
+/** The full packed state; POD so it can be memcpy-serialized. */
+struct TokenModel::Packed
+{
+    NodeSt cache[kMaxCaches];
+    NodeSt mem;
+    std::uint8_t globalValue = 0;
+    MsgSt msg[kMaxMsgs];
+
+    // Persistent-request machinery (Arb and Dst variants).
+    std::uint8_t want[kMaxCaches] = {};       //!< 0 none, 1 rd, 2 wr
+    std::uint8_t prIsRead = 0;                //!< bitmask by proc
+    std::uint8_t tableValid[kMaxCaches + 1] = {};  //!< [node] procs
+    std::uint8_t tableMarked[kMaxCaches] = {};     //!< own table only
+    std::uint8_t pendAct[kMaxCaches + 1] = {};     //!< in-flight act
+    std::uint8_t pendDeact[kMaxCaches + 1] = {};   //!< in-flight deact
+
+    std::uint8_t issued[kMaxCaches] = {};     //!< PRs issued so far
+
+    // Arbiter variant.
+    std::uint8_t arbQueue[kMaxCaches] = {};   //!< proc+1, FIFO
+    std::uint8_t arbActive = 0;               //!< proc+1 or 0
+    std::uint8_t arbReqPend = 0;              //!< bitmask
+    std::uint8_t arbDonePend = 0;             //!< bitmask
+    std::uint8_t arbOrphan = 0;               //!< done overtook req
+
+    State
+    serialize() const
+    {
+        Packed copy = *this;
+        std::sort(copy.msg, copy.msg + kMaxMsgs);
+        State s(sizeof(Packed));
+        std::memcpy(s.data(), &copy, sizeof(Packed));
+        return s;
+    }
+
+    static Packed
+    parse(const State &s)
+    {
+        Packed p;
+        std::memcpy(&p, s.data(), sizeof(Packed));
+        return p;
+    }
+};
+
+TokenModel::TokenModel(const TokenModelConfig &cfg) : _cfg(cfg)
+{
+    if (cfg.caches > kMaxCaches || cfg.maxMsgs > kMaxMsgs)
+        fatal("TokenModel: configuration exceeds packed limits");
+    if (cfg.totalTokens <= int(cfg.caches))
+        fatal("TokenModel: need T > #caches");
+    if (cfg.variant != TokenVariant::Safety) {
+        // Mirror the paper's methodology split (see header).
+        _cfg.trackValues = false;
+        _cfg.reducedPolicy = true;
+    }
+    if (cfg.variant == TokenVariant::Arb)
+        _cfg.quietPolicy = true;
+}
+
+std::string
+TokenModel::name() const
+{
+    switch (_cfg.variant) {
+      case TokenVariant::Safety: return "TokenCMP-safety";
+      case TokenVariant::Arb: return "TokenCMP-arb";
+      case TokenVariant::Dst: return "TokenCMP-dst";
+    }
+    return "?";
+}
+
+std::vector<State>
+TokenModel::initialStates() const
+{
+    std::vector<State> out;
+    Packed base;
+    base.globalValue = 0;
+
+    if (!_cfg.quietPolicy) {
+        Packed p = base;
+        p.mem.tokens = std::uint8_t(_cfg.totalTokens);
+        p.mem.owner = 1;
+        p.mem.valid = 1;
+        return {p.serialize()};
+    }
+
+    // Quiet policy: check from every reachable-shape placement of the
+    // T tokens over the caches and memory (owner anywhere holding at
+    // least one token; holders of tokens have valid data).
+    const unsigned n = _cfg.caches;
+    const int T = _cfg.totalTokens;
+    std::vector<int> split(n + 1, 0);
+    std::function<void(unsigned, int)> rec =
+        [&](unsigned idx, int left) {
+            if (idx == n) {
+                split[n] = left;
+                for (unsigned own = 0; own <= n; ++own) {
+                    if (split[own] == 0)
+                        continue;
+                    Packed p = base;
+                    for (unsigned c = 0; c < n; ++c) {
+                        p.cache[c].tokens = std::uint8_t(split[c]);
+                        p.cache[c].valid = split[c] > 0;
+                        p.cache[c].owner = own == c;
+                    }
+                    p.mem.tokens = std::uint8_t(split[n]);
+                    p.mem.owner = own == n;
+                    p.mem.valid = p.mem.owner;
+                    out.push_back(p.serialize());
+                }
+                return;
+            }
+            for (int k = 0; k <= left; ++k) {
+                split[idx] = k;
+                rec(idx + 1, left - k);
+            }
+        };
+    rec(0, T);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** A free slot if fewer than `max_msgs` messages are in flight. */
+int
+freeMsgSlot(const TokenModel::Packed &p, unsigned max_msgs);
+
+/** Active persistent request at node `j`: lowest valid proc, or -1. */
+int
+activeAt(const TokenModel::Packed &p, unsigned j)
+{
+    const std::uint8_t bits = p.tableValid[j];
+    for (unsigned q = 0; q < kMaxCaches; ++q) {
+        if (bits & (1u << q))
+            return int(q);
+    }
+    return -1;
+}
+
+} // namespace
+
+std::string
+TokenModel::invariant(const State &s) const
+{
+    const Packed p = Packed::parse(s);
+    const int T = _cfg.totalTokens;
+
+    int total = p.mem.tokens;
+    int owners = p.mem.owner ? 1 : 0;
+    for (unsigned i = 0; i < _cfg.caches; ++i) {
+        total += p.cache[i].tokens;
+        owners += p.cache[i].owner ? 1 : 0;
+        if (p.cache[i].owner && !p.cache[i].valid)
+            return "owner cache without valid data";
+        if (_cfg.trackValues && p.cache[i].tokens > 0 &&
+            p.cache[i].valid &&
+            p.cache[i].value != p.globalValue) {
+            return "readable cache holds stale data (serial memory "
+                   "violated)";
+        }
+    }
+    for (unsigned m = 0; m < kMaxMsgs; ++m) {
+        if (!p.msg[m].used)
+            continue;
+        total += p.msg[m].tokens;
+        owners += p.msg[m].owner ? 1 : 0;
+        if (p.msg[m].owner && !p.msg[m].hasData)
+            return "owner token in flight without data";
+        if (_cfg.trackValues && p.msg[m].hasData &&
+            p.msg[m].tokens > 0 &&
+            p.msg[m].value != p.globalValue) {
+            return "in-flight token-bearing data is stale";
+        }
+    }
+    if (total != T)
+        return "token conservation violated";
+    if (owners != 1)
+        return "owner token multiplicity != 1";
+    if (_cfg.trackValues && p.mem.owner &&
+        p.mem.value != p.globalValue)
+        return "memory owns the block but holds a stale image";
+    return "";
+}
+
+bool
+TokenModel::hasObligation(const State &s) const
+{
+    if (_cfg.variant == TokenVariant::Safety)
+        return false;
+    const Packed p = Packed::parse(s);
+    for (unsigned i = 0; i < _cfg.caches; ++i) {
+        if (p.want[i] != 0)
+            return true;
+    }
+    return false;
+}
+
+bool
+TokenModel::obligationMet(const State &s) const
+{
+    return !hasObligation(s);
+}
+
+std::string
+TokenModel::describe(const State &s) const
+{
+    const Packed p = Packed::parse(s);
+    std::string out;
+    char buf[128];
+    for (unsigned i = 0; i < _cfg.caches; ++i) {
+        std::snprintf(buf, sizeof(buf), "c%u(t%u,o%u,v%u) ", i,
+                      p.cache[i].tokens, p.cache[i].owner,
+                      p.cache[i].valid);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "mem(t%u,o%u) ", p.mem.tokens,
+                  p.mem.owner);
+    out += buf;
+    for (unsigned m = 0; m < kMaxMsgs; ++m) {
+        if (!p.msg[m].used)
+            continue;
+        std::snprintf(buf, sizeof(buf), "msg[->%d t%u o%u d%u] ",
+                      p.msg[m].dst == kMem ? -1 : int(p.msg[m].dst),
+                      p.msg[m].tokens, p.msg[m].owner,
+                      p.msg[m].hasData);
+        out += buf;
+    }
+    for (unsigned i = 0; i < _cfg.caches; ++i) {
+        std::snprintf(buf, sizeof(buf), "w%u=%u ", i, p.want[i]);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "rd=%x iss={%u,%u} tv={%x,%x,%x} mk={%x,%x} "
+                  "pa={%x,%x,%x} pd={%x,%x,%x} arb(a%u q%u%u rp%x "
+                  "dp%x)",
+                  p.prIsRead, p.issued[0], p.issued[1],
+                  p.tableValid[0], p.tableValid[1], p.tableValid[2],
+                  p.tableMarked[0], p.tableMarked[1], p.pendAct[0],
+                  p.pendAct[1], p.pendAct[2], p.pendDeact[0],
+                  p.pendDeact[1], p.pendDeact[2], p.arbActive,
+                  p.arbQueue[0], p.arbQueue[1], p.arbReqPend,
+                  p.arbDonePend);
+    out += buf;
+    return out;
+}
+
+namespace {
+
+int
+freeMsgSlot(const TokenModel::Packed &p, unsigned max_msgs)
+{
+    unsigned used = 0;
+    int free_slot = -1;
+    for (unsigned m = 0; m < kMaxMsgs; ++m) {
+        if (p.msg[m].used)
+            ++used;
+        else if (free_slot < 0)
+            free_slot = int(m);
+    }
+    return used < max_msgs ? free_slot : -1;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Successor generation
+// ---------------------------------------------------------------------
+
+void
+TokenModel::successors(const State &s, std::vector<State> &out) const
+{
+    const Packed base = Packed::parse(s);
+    const unsigned n = _cfg.caches;
+    const int T = _cfg.totalTokens;
+    const int slot = freeMsgSlot(base, _cfg.maxMsgs);
+
+    auto emit = [&](const Packed &p) { out.push_back(p.serialize()); };
+
+    // --- Nondeterministic performance policy: token transfers. ---
+    if (slot >= 0 && !_cfg.quietPolicy) {
+        // Cache-to-anywhere sends.
+        for (unsigned i = 0; i < n; ++i) {
+            const NodeSt &c = base.cache[i];
+            if (c.tokens == 0)
+                continue;
+            for (unsigned d = 0; d <= n; ++d) {
+                const std::uint8_t dst =
+                    d == n ? kMem : std::uint8_t(d);
+                if (!(dst == kMem) && d == i)
+                    continue;
+                for (int k = 1; k <= c.tokens; ++k) {
+                    if (_cfg.reducedPolicy && k != 1 &&
+                        k != c.tokens) {
+                        continue;  // one token or all of them
+                    }
+                    // Full policy generality: the owner token may ride
+                    // along with any k; data may accompany any tokens
+                    // from a valid copy, and must accompany the owner.
+                    for (int withOwner = 0; withOwner <= 1;
+                         ++withOwner) {
+                        if (withOwner && !c.owner)
+                            continue;
+                        if (!withOwner && c.owner &&
+                            k == c.tokens) {
+                            continue;  // owner flag needs a token
+                        }
+                        for (int withData = 0; withData <= 1;
+                             ++withData) {
+                            if (withData && !c.valid)
+                                continue;
+                            if (withOwner && !withData &&
+                                !_cfg.bugOwnerNoData) {
+                                continue;  // owner must carry data
+                            }
+                            if (_cfg.reducedPolicy &&
+                                int(c.valid) != withData &&
+                                !withOwner) {
+                                continue;  // deterministic data
+                            }
+                            Packed p = base;
+                            MsgSt &m = p.msg[slot];
+                            m.used = 1;
+                            m.dst = dst;
+                            m.tokens = std::uint8_t(k);
+                            m.owner = std::uint8_t(withOwner);
+                            m.hasData = std::uint8_t(withData);
+                            m.value = c.value;
+                            p.cache[i].tokens -= std::uint8_t(k);
+                            if (withOwner)
+                                p.cache[i].owner = 0;
+                            if (p.cache[i].tokens == 0)
+                                p.cache[i].valid = 0;
+                            emit(p);
+                        }
+                    }
+                }
+            }
+        }
+        // Memory sends.
+        if (base.mem.tokens > 0) {
+            for (unsigned d = 0; d < n; ++d) {
+                for (int k = 1; k <= base.mem.tokens; ++k) {
+                    if (_cfg.reducedPolicy && k != 1 &&
+                        k != base.mem.tokens)
+                        continue;
+                    for (int withOwner = 0; withOwner <= 1;
+                         ++withOwner) {
+                        if (withOwner && !base.mem.owner)
+                            continue;
+                        if (!withOwner && base.mem.owner &&
+                            k == base.mem.tokens) {
+                            continue;  // owner flag needs a token
+                        }
+                        Packed p = base;
+                        MsgSt &m = p.msg[slot];
+                        m.used = 1;
+                        m.dst = std::uint8_t(d);
+                        m.tokens = std::uint8_t(k);
+                        m.owner = std::uint8_t(withOwner);
+                        m.hasData = std::uint8_t(withOwner ? 1 : 0);
+                        m.value = p.mem.value;
+                        p.mem.tokens -= std::uint8_t(k);
+                        if (withOwner)
+                            p.mem.owner = 0;
+                        emit(p);
+                    }
+                }
+            }
+        }
+        // Buggy policies may emit data-only messages (no tokens).
+        if (_cfg.bugDataOnlyMessages) {
+            for (unsigned i = 0; i < n; ++i) {
+                if (!base.cache[i].valid)
+                    continue;
+                for (unsigned d = 0; d < n; ++d) {
+                    if (d == i)
+                        continue;
+                    Packed p = base;
+                    MsgSt &m = p.msg[slot];
+                    m.used = 1;
+                    m.dst = std::uint8_t(d);
+                    m.tokens = 0;
+                    m.owner = 0;
+                    m.hasData = 1;
+                    m.value = p.cache[i].value;
+                    emit(p);
+                }
+            }
+        }
+    }
+
+    // --- Message delivery. ---
+    for (unsigned m = 0; m < kMaxMsgs; ++m) {
+        if (!base.msg[m].used)
+            continue;
+        Packed p = base;
+        const MsgSt msg = p.msg[m];
+        p.msg[m] = MsgSt{};
+        if (msg.dst == kMem) {
+            p.mem.tokens += msg.tokens;
+            if (msg.owner) {
+                p.mem.owner = 1;
+                if (msg.hasData)
+                    p.mem.value = msg.value;
+            }
+        } else {
+            NodeSt &c = p.cache[msg.dst];
+            c.tokens += msg.tokens;
+            if (msg.owner)
+                c.owner = 1;
+            if (msg.hasData) {
+                c.value = msg.value;
+                c.valid = 1;
+            }
+        }
+        emit(p);
+    }
+
+    // --- Processor writes (any cache holding all tokens). ---
+    for (unsigned i = 0; i < n; ++i) {
+        const NodeSt &c = base.cache[i];
+        const int need = _cfg.bugWriteWithoutAll ? T - 1 : T;
+        if (c.tokens >= need && c.valid && _cfg.trackValues) {
+            Packed p = base;
+            p.globalValue ^= 1;
+            p.cache[i].value = p.globalValue;
+            emit(p);
+        }
+    }
+
+    if (_cfg.variant == TokenVariant::Safety)
+        return;
+
+    // --- Persistent request machinery. ---
+
+    // Issue: a processor with no outstanding request and a drained
+    // wave (no marked entries in its own table, no in-flight
+    // broadcasts of its own) may issue a read or write request.
+    for (unsigned i = 0; i < n; ++i) {
+        if (base.want[i] != 0)
+            continue;
+        if (_cfg.issueLimit != 0 &&
+            base.issued[i] >= _cfg.issueLimit)
+            continue;
+        bool drained = base.tableMarked[i] == 0;
+        for (unsigned j = 0; j <= n && drained; ++j) {
+            if ((base.pendAct[j] | base.pendDeact[j]) & (1u << i))
+                drained = false;
+        }
+        if (_cfg.variant == TokenVariant::Arb) {
+            if ((base.arbReqPend | base.arbDonePend) & (1u << i))
+                drained = false;
+            if (base.arbActive == i + 1)
+                drained = false;
+            for (unsigned q = 0; q < n; ++q) {
+                if (base.arbQueue[q] == i + 1)
+                    drained = false;
+            }
+            // Also require table entries to be gone everywhere.
+            for (unsigned j = 0; j <= n && drained; ++j) {
+                if (base.tableValid[j] & (1u << i))
+                    drained = false;
+            }
+        }
+        if (!drained)
+            continue;
+        for (int is_read = 0; is_read <= 1; ++is_read) {
+            Packed p = base;
+            p.want[i] = is_read ? 1 : 2;
+            // Only count issues under a bound; an unbounded counter
+            // would make otherwise-identical states distinct and blow
+            // up the space.
+            if (_cfg.issueLimit != 0)
+                p.issued[i] += 1;
+            if (is_read)
+                p.prIsRead |= std::uint8_t(1u << i);
+            else
+                p.prIsRead &= std::uint8_t(~(1u << i));
+            if (_cfg.variant == TokenVariant::Dst) {
+                // Distributed: insert locally, broadcast activates.
+                p.tableValid[i] |= std::uint8_t(1u << i);
+                for (unsigned j = 0; j <= n; ++j) {
+                    if (j == i)
+                        continue;
+                    if (_cfg.bugSkipMemActivate && j == n)
+                        continue;
+                    p.pendAct[j] |= std::uint8_t(1u << i);
+                }
+            } else {
+                p.arbReqPend |= std::uint8_t(1u << i);
+            }
+            emit(p);
+        }
+    }
+
+    // Arbiter request delivery.
+    if (_cfg.variant == TokenVariant::Arb) {
+        for (unsigned i = 0; i < n; ++i) {
+            if (!(base.arbReqPend & (1u << i)))
+                continue;
+            Packed p = base;
+            p.arbReqPend &= std::uint8_t(~(1u << i));
+            if (p.arbOrphan & (1u << i)) {
+                // The requester's Done overtook this request on the
+                // unordered network: consume both, never activate.
+                p.arbOrphan &= std::uint8_t(~(1u << i));
+                emit(p);
+                continue;
+            }
+            if (p.arbActive == 0) {
+                p.arbActive = std::uint8_t(i + 1);
+                for (unsigned j = 0; j <= n; ++j) {
+                    if (_cfg.bugSkipMemActivate && j == n)
+                        continue;
+                    p.pendAct[j] |= std::uint8_t(1u << i);
+                }
+            } else {
+                for (unsigned q = 0; q < n; ++q) {
+                    if (p.arbQueue[q] == 0) {
+                        p.arbQueue[q] = std::uint8_t(i + 1);
+                        break;
+                    }
+                }
+            }
+            emit(p);
+        }
+        // Done delivery at the arbiter.
+        for (unsigned i = 0; i < n; ++i) {
+            if (!(base.arbDonePend & (1u << i)))
+                continue;
+            Packed p = base;
+            p.arbDonePend &= std::uint8_t(~(1u << i));
+            if (p.arbActive == i + 1) {
+                p.arbActive = 0;
+                for (unsigned j = 0; j <= n; ++j)
+                    p.pendDeact[j] |= std::uint8_t(1u << i);
+                if (p.arbQueue[0] != 0) {
+                    const unsigned next = p.arbQueue[0] - 1;
+                    for (unsigned q = 0; q + 1 < kMaxCaches; ++q)
+                        p.arbQueue[q] = p.arbQueue[q + 1];
+                    p.arbQueue[kMaxCaches - 1] = 0;
+                    p.arbActive = std::uint8_t(next + 1);
+                    for (unsigned j = 0; j <= n; ++j) {
+                        if (_cfg.bugSkipMemActivate && j == n)
+                            continue;
+                        p.pendAct[j] |= std::uint8_t(1u << next);
+                    }
+                }
+            } else {
+                bool queued = false;
+                for (unsigned q = 0; q < n; ++q) {
+                    if (p.arbQueue[q] == i + 1) {
+                        for (unsigned r = q; r + 1 < kMaxCaches; ++r)
+                            p.arbQueue[r] = p.arbQueue[r + 1];
+                        p.arbQueue[kMaxCaches - 1] = 0;
+                        queued = true;
+                        break;
+                    }
+                }
+                if (!queued) {
+                    // Done overtook the request: remember the orphan
+                    // so the stale request is discarded on arrival.
+                    p.arbOrphan |= std::uint8_t(1u << i);
+                }
+            }
+            emit(p);
+        }
+    }
+
+    // Activate / deactivate delivery at each node.
+    for (unsigned j = 0; j <= n; ++j) {
+        for (unsigned i = 0; i < n; ++i) {
+            if (base.pendAct[j] & (1u << i)) {
+                Packed p = base;
+                p.pendAct[j] &= std::uint8_t(~(1u << i));
+                p.tableValid[j] |= std::uint8_t(1u << i);
+                emit(p);
+            }
+            if (base.pendDeact[j] & (1u << i)) {
+                Packed p = base;
+                p.pendDeact[j] &= std::uint8_t(~(1u << i));
+                p.tableValid[j] &= std::uint8_t(~(1u << i));
+                if (j < n)
+                    p.tableMarked[j] &= std::uint8_t(~(1u << i));
+                // Sequence-number guard (token_common.cc): an
+                // activate of the same generation reordered behind
+                // its deactivate is discarded on arrival.
+                p.pendAct[j] &= std::uint8_t(~(1u << i));
+                emit(p);
+            }
+        }
+    }
+
+    // Forwarding: a node holding tokens of a block with an active
+    // persistent request of another processor sends them (substrate
+    // obligation).
+    if (slot >= 0) {
+        for (unsigned j = 0; j <= n; ++j) {
+            const int act = activeAt(base, j);
+            if (act < 0 || unsigned(act) == j)
+                continue;
+            const bool is_read = base.prIsRead & (1u << act);
+            const NodeSt &node = j == n ? base.mem : base.cache[j];
+            if (node.tokens == 0)
+                continue;
+
+            Packed p = base;
+            NodeSt &src = j == n ? p.mem : p.cache[j];
+            MsgSt &m = p.msg[slot];
+            m.used = 1;
+            m.dst = std::uint8_t(act);
+            if (j == n) {
+                // Memory gives everything.
+                m.tokens = src.tokens;
+                m.owner = src.owner;
+                m.hasData = src.owner;
+                m.value = src.value;
+                src.tokens = 0;
+                src.owner = 0;
+            } else if (is_read) {
+                if (src.owner) {
+                    m.tokens = src.tokens == 1
+                                   ? 1
+                                   : std::uint8_t(src.tokens - 1);
+                    m.owner = 1;
+                    m.hasData = 1;
+                    m.value = src.value;
+                    src.tokens -= m.tokens;
+                    src.owner = 0;
+                } else {
+                    if (src.tokens < 2)
+                        continue;
+                    m.tokens = std::uint8_t(src.tokens - 1);
+                    m.hasData = 0;
+                    src.tokens = 1;
+                }
+            } else {
+                m.tokens = src.tokens;
+                m.owner = src.owner;
+                m.hasData = src.owner;
+                m.value = src.value;
+                src.tokens = 0;
+                src.owner = 0;
+            }
+            if (src.tokens == 0)
+                src.valid = 0;
+            if (m.tokens == 0 && !m.owner)
+                continue;
+            emit(p);
+        }
+    }
+
+    // Completion: a requesting processor whose permission arrived
+    // performs its operation and deactivates.
+    for (unsigned i = 0; i < n; ++i) {
+        if (base.want[i] == 0)
+            continue;
+        const NodeSt &c = base.cache[i];
+        const bool read_ok = c.tokens >= 1 && c.valid;
+        const bool write_ok = c.tokens == T && c.valid;
+        if (base.want[i] == 1 ? !read_ok : !write_ok)
+            continue;
+        Packed p = base;
+        if (p.want[i] == 2 && _cfg.trackValues) {
+            p.globalValue ^= 1;
+            p.cache[i].value = p.globalValue;
+        }
+        p.want[i] = 0;
+        if (_cfg.variant == TokenVariant::Dst) {
+            p.tableValid[i] &= std::uint8_t(~(1u << i));
+            // Marking: the wave mechanism (Section 3.2).
+            p.tableMarked[i] = p.tableValid[i];
+            for (unsigned j = 0; j <= n; ++j) {
+                if (j != i)
+                    p.pendDeact[j] |= std::uint8_t(1u << i);
+            }
+        } else {
+            p.arbDonePend |= std::uint8_t(1u << i);
+        }
+        emit(p);
+    }
+}
+
+} // namespace tokencmp::mc

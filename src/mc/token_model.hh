@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Model of the TokenCMP flat correctness substrate (Section 5).
+ *
+ * Following the paper's methodology, only the substrate is modeled:
+ * the performance policy is *nondeterministic* — any cache may at any
+ * time send any subset of its tokens (with the substrate's data rules)
+ * anywhere — so a successful check covers every possible performance
+ * policy, hierarchical ones included.
+ *
+ * Three variants match the paper's:
+ *  - Safety       : token counting only (no starvation mechanism);
+ *  - Arb          : arbiter-based persistent requests;
+ *  - Dst          : distributed activation with marking/waves.
+ *
+ * Checked properties: token conservation, owner uniqueness,
+ * owner-implies-data, the serial-memory property (any readable copy
+ * equals the last written value; in-flight data carrying tokens is
+ * always current), deadlock freedom, and — for Arb/Dst — progress
+ * (every persistent request can always still be satisfied).
+ *
+ * Bug-injection switches turn real historical failure modes back on
+ * so tests can confirm the checker finds them.
+ */
+
+#ifndef TOKENCMP_MC_TOKEN_MODEL_HH
+#define TOKENCMP_MC_TOKEN_MODEL_HH
+
+#include "mc/model.hh"
+
+namespace tokencmp::mc {
+
+/** Which starvation-avoidance mechanism to include. */
+enum class TokenVariant { Safety, Arb, Dst };
+
+/** Model configuration (tiny, as model checking demands). */
+struct TokenModelConfig
+{
+    unsigned caches = 3;   //!< token-holding caches (1 proc each)
+    int totalTokens = 4;   //!< must exceed `caches` for reads
+    unsigned maxMsgs = 2;  //!< in-flight message bound
+    TokenVariant variant = TokenVariant::Dst;
+
+    /**
+     * Track data values (serial-memory checking). The paper uses the
+     * safety-only model for data safety and the arb/dst models for
+     * starvation freedom; mirroring that split here keeps the
+     * persistent-request state spaces tractable, so this defaults to
+     * off for Arb/Dst (set by the constructor when left unchanged).
+     */
+    bool trackValues = true;
+
+    /**
+     * Reduced policy fan-out for the PR variants: transfers move one
+     * token or all of them (not every k), and data accompanies valid
+     * copies deterministically.
+     */
+    bool reducedPolicy = false;
+
+    /**
+     * Bound on persistent requests issued per processor (0 =
+     * unlimited). Bounded-liveness checking for the arbiter variant,
+     * whose unbounded reissue churn is otherwise intractable.
+     */
+    unsigned issueLimit = 0;
+
+    /**
+     * Quiet policy: no spontaneous performance-policy transfers;
+     * tokens move only through the substrate's persistent-request
+     * forwarding obligations, checked from *every* initial token
+     * placement. Used for the arbiter variant, whose liveness is the
+     * target property (data safety is the safety model's job) — the
+     * full nondeterministic-policy cross product is intractable.
+     */
+    bool quietPolicy = false;
+
+    // Bug injection (each must be caught by the checker):
+    bool bugOwnerNoData = false;     //!< owner token moves w/o data
+    bool bugWriteWithoutAll = false; //!< write with T-1 tokens
+    bool bugDataOnlyMessages = false;//!< data may travel w/o tokens
+    bool bugSkipMemActivate = false; //!< persistent req not sent to mem
+};
+
+/** Explicit-state model of the token coherence substrate. */
+class TokenModel : public Model
+{
+  public:
+    explicit TokenModel(const TokenModelConfig &cfg);
+
+    std::string name() const override;
+    std::vector<State> initialStates() const override;
+    void successors(const State &s,
+                    std::vector<State> &out) const override;
+    std::string invariant(const State &s) const override;
+    bool quiescent(const State &) const override { return true; }
+    bool hasObligation(const State &s) const override;
+    bool obligationMet(const State &s) const override;
+    std::string describe(const State &s) const override;
+
+    const TokenModelConfig &config() const { return _cfg; }
+
+    struct Packed;  //!< packed state layout (defined in the .cc)
+
+  private:
+    TokenModelConfig _cfg;
+};
+
+} // namespace tokencmp::mc
+
+#endif // TOKENCMP_MC_TOKEN_MODEL_HH

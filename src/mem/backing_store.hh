@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Functional backing store: one 64-bit value per cache block.
+ *
+ * The simulator carries a functional value with every block so that the
+ * workloads are *semantically* executed (locks really serialize,
+ * barriers really gate) and correctness failures in a protocol surface
+ * as wrong values, not just wrong timing. Modeling 8 of the 64 bytes is
+ * enough because workloads address at block granularity.
+ */
+
+#ifndef TOKENCMP_MEM_BACKING_STORE_HH
+#define TOKENCMP_MEM_BACKING_STORE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace tokencmp {
+
+/** Sparse functional memory image, shared by all memory controllers. */
+class BackingStore
+{
+  public:
+    /** Current memory value of a block (0 if never written). */
+    std::uint64_t
+    read(Addr addr) const
+    {
+        auto it = _mem.find(blockAlign(addr));
+        return it == _mem.end() ? 0 : it->second;
+    }
+
+    /** Update the memory image of a block. */
+    void write(Addr addr, std::uint64_t v) { _mem[blockAlign(addr)] = v; }
+
+    /** Number of blocks ever written. */
+    std::size_t footprint() const { return _mem.size(); }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> _mem;
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_MEM_BACKING_STORE_HH

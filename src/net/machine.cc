@@ -1,0 +1,49 @@
+#include "net/machine.hh"
+
+#include <cstdio>
+
+namespace tokencmp {
+
+const char *
+machineTypeName(MachineType t)
+{
+    switch (t) {
+      case MachineType::L1I:
+        return "L1I";
+      case MachineType::L1D:
+        return "L1D";
+      case MachineType::L2Bank:
+        return "L2";
+      case MachineType::Mem:
+        return "Mem";
+    }
+    return "?";
+}
+
+std::string
+MachineID::toString() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s[c%u.%u]", machineTypeName(type),
+                  unsigned(cmp), unsigned(index));
+    return buf;
+}
+
+unsigned
+Topology::globalIndex(const MachineID &id) const
+{
+    const unsigned per_cmp = cachesPerCmp();
+    switch (id.type) {
+      case MachineType::L1D:
+        return id.cmp * per_cmp + id.index;
+      case MachineType::L1I:
+        return id.cmp * per_cmp + procsPerCmp + id.index;
+      case MachineType::L2Bank:
+        return id.cmp * per_cmp + 2 * procsPerCmp + id.index;
+      case MachineType::Mem:
+        return numCmps * per_cmp + id.cmp;
+    }
+    panic("bad machine type");
+}
+
+} // namespace tokencmp

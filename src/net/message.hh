@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The coherence message vocabulary shared by every protocol in the
+ * repository, plus the traffic-class taxonomy of the paper's Figure 7
+ * (Response Data, Writeback Data, Writeback Control, Request,
+ * Inv/Fwd/Acks/Tokens, Unblock, Persistent).
+ *
+ * Message sizes follow Section 8: data-bearing messages are 72 bytes
+ * (8-byte header + 64-byte block), control messages are 8 bytes.
+ */
+
+#ifndef TOKENCMP_NET_MESSAGE_HH
+#define TOKENCMP_NET_MESSAGE_HH
+
+#include <cstdint>
+
+#include "net/machine.hh"
+#include "sim/types.hh"
+
+namespace tokencmp {
+
+/** Every message kind used by TokenCMP and DirectoryCMP. */
+enum class MsgType : std::uint8_t {
+    // --- Token coherence: transient requests and responses ---
+    TokReadReq,    //!< transient request seeking >= 1 token + data
+    TokWriteReq,   //!< transient request seeking all tokens
+    TokResponse,   //!< tokens (optionally with data / owner token)
+    TokWriteback,  //!< tokens (optionally data) flowing to L2/memory
+
+    // --- Token coherence: persistent request machinery ---
+    PersistActivate,      //!< distributed: insert/activate table entry
+    PersistDeactivate,    //!< distributed: clear table entry
+    PersistArbRequest,    //!< arbiter: starver -> home arbiter
+    PersistArbActivate,   //!< arbiter: arbiter -> everyone
+    PersistArbDeactivate, //!< arbiter: arbiter -> everyone
+    PersistArbDone,       //!< arbiter: initiator -> arbiter (release)
+
+    // --- DirectoryCMP: requests ---
+    GetS,  //!< read request (L1->L2 or L2->home)
+    GetX,  //!< write request
+
+    // --- DirectoryCMP: forwards and invalidations ---
+    FwdGetS,  //!< directory forwards a read to the owner
+    FwdGetX,  //!< directory forwards a write to the owner
+    Inv,      //!< invalidate a sharer
+
+    // --- DirectoryCMP: responses ---
+    InvAck,    //!< sharer -> requester invalidation ack
+    Data,      //!< data, read permission (may carry acks-expected)
+    DataEx,    //!< data, write permission (may carry acks-expected)
+    AckCount,  //!< control: tells requester how many InvAcks to expect
+    Unblock,   //!< requester -> directory: transaction complete
+    UnblockEx, //!< requester -> directory: complete, now exclusive owner
+
+    // --- DirectoryCMP: three-phase writebacks ---
+    WbRequest, //!< cache asks directory for permission to write back
+    WbGrant,   //!< directory grants the writeback
+    WbData,    //!< the writeback data (or token/ownership return)
+    WbCancel,  //!< cache lost the block while waiting for the grant
+    WbAck,     //!< directory confirms writeback completion
+};
+
+/** Printable name of a message type. */
+const char *msgTypeName(MsgType t);
+
+/** Figure 7 traffic accounting categories. */
+enum class TrafficClass : std::uint8_t {
+    ResponseData,
+    WritebackData,
+    WritebackControl,
+    Request,
+    InvFwdAckTokens,
+    Unblock,
+    Persistent,
+    NumClasses,
+};
+
+/** Printable name of a traffic class. */
+const char *trafficClassName(TrafficClass c);
+
+/** One coherence message. POD-style; copied by value into the network. */
+struct Msg
+{
+    MsgType type = MsgType::TokResponse;
+    Addr addr = 0;           //!< block-aligned address
+    MachineID src;           //!< sending controller
+    MachineID dst;           //!< receiving controller
+    MachineID requestor;     //!< original requester (for responses)
+
+    bool hasData = false;    //!< carries the 64-byte block payload
+    std::uint64_t value = 0; //!< functional value of the block
+    bool dirty = false;      //!< payload differs from memory
+
+    // Token-protocol fields.
+    int tokens = 0;          //!< tokens carried (token protocol)
+    bool owner = false;      //!< carries the owner token
+    bool isRead = false;     //!< persistent request is a read
+
+    // Persistent-request fields.
+    std::uint8_t prio = 0;   //!< requesting processor id (priority)
+
+    // Directory-protocol fields.
+    int acks = 0;            //!< InvAcks the requester must collect
+
+    std::uint64_t reqId = 0; //!< transaction id (debug/tracing)
+
+    /** Wire size in bytes: 72 with data, 8 control-only (Section 8). */
+    unsigned size() const { return hasData ? 72 : 8; }
+
+    /** Accounting category for Figure 7. */
+    TrafficClass trafficClass() const;
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_NET_MESSAGE_HH

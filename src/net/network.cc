@@ -1,0 +1,156 @@
+#include "net/network.hh"
+
+#include <cmath>
+
+#include "net/controller.hh"
+#include "sim/logging.hh"
+
+namespace tokencmp {
+
+const char *
+netLevelName(NetLevel l)
+{
+    switch (l) {
+      case NetLevel::Intra: return "intra";
+      case NetLevel::Inter: return "inter";
+      case NetLevel::MemLink: return "memlink";
+      case NetLevel::NumLevels: break;
+    }
+    return "?";
+}
+
+Network::Network(EventQueue &eq, const Topology &topo,
+                 const NetworkParams &params)
+    : _eq(eq), _topo(topo), _p(params)
+{
+    _controllers.assign(_topo.numControllers(), nullptr);
+    _intraPorts.assign(_topo.numControllers(), Link{});
+    _intraGateways.assign(_topo.numCmps, Link{});
+    _interLinks.assign(_topo.numCmps * _topo.numCmps, Link{});
+    _memLinks.assign(2 * _topo.numCmps, Link{});
+}
+
+void
+Network::registerController(Controller *c)
+{
+    const unsigned idx = _topo.globalIndex(c->id());
+    if (_controllers.at(idx) != nullptr)
+        panic("duplicate controller registration: %s",
+              c->id().toString().c_str());
+    _controllers[idx] = c;
+}
+
+Tick
+Network::traverse(Link &link, Tick earliest, Tick latency, double bpn,
+                  unsigned bytes)
+{
+    if (!_p.modelBandwidth)
+        return earliest + latency;
+    const Tick start = std::max(earliest, link.nextFree);
+    const auto ser = static_cast<Tick>(
+        std::llround(double(bytes) * double(ticksPerNs) / bpn));
+    link.nextFree = start + ser;
+    return start + ser + latency;
+}
+
+void
+Network::account(NetLevel level, const Msg &msg)
+{
+    _bytes[unsigned(level)][unsigned(msg.trafficClass())] += msg.size();
+}
+
+void
+Network::send(Msg msg, Tick sender_delay)
+{
+    if (msg.src == msg.dst)
+        panic("message to self: %s at %s", msgTypeName(msg.type),
+              msg.src.toString().c_str());
+
+    const bool src_is_mem = msg.src.type == MachineType::Mem;
+    const bool dst_is_mem = msg.dst.type == MachineType::Mem;
+    const unsigned scmp = msg.src.cmp;
+    const unsigned dcmp = msg.dst.cmp;
+
+    Tick t = _eq.curTick() + sender_delay;
+    const unsigned sz = msg.size();
+
+    if (src_is_mem) {
+        // Off the memory controller onto its CMP...
+        t = traverse(_memLinks[2 * scmp + 1], t, _p.memLinkLatency,
+                     _p.memLinkBytesPerNs, sz);
+        account(NetLevel::MemLink, msg);
+        if (dst_is_mem)
+            panic("memory-to-memory message");
+        if (scmp != dcmp) {
+            t = traverse(_interLinks[scmp * _topo.numCmps + dcmp], t,
+                         _p.interLatency, _p.interBytesPerNs, sz);
+            account(NetLevel::Inter, msg);
+        } else {
+            // Home CMP delivery crosses the on-chip network.
+            t = traverse(_intraGateways[dcmp], t, _p.intraLatency,
+                         _p.intraBytesPerNs, sz);
+            account(NetLevel::Intra, msg);
+        }
+    } else if (dst_is_mem) {
+        if (scmp != dcmp) {
+            t = traverse(_interLinks[scmp * _topo.numCmps + dcmp], t,
+                         _p.interLatency, _p.interBytesPerNs, sz);
+            account(NetLevel::Inter, msg);
+        } else {
+            t = traverse(_intraPorts[_topo.globalIndex(msg.src)], t,
+                         _p.intraLatency, _p.intraBytesPerNs, sz);
+            account(NetLevel::Intra, msg);
+        }
+        t = traverse(_memLinks[2 * dcmp], t, _p.memLinkLatency,
+                     _p.memLinkBytesPerNs, sz);
+        account(NetLevel::MemLink, msg);
+    } else if (scmp == dcmp) {
+        // On-chip cache-to-cache hop.
+        t = traverse(_intraPorts[_topo.globalIndex(msg.src)], t,
+                     _p.intraLatency, _p.intraBytesPerNs, sz);
+        account(NetLevel::Intra, msg);
+    } else {
+        // Cross-chip cache-to-cache: the 20 ns inter link subsumes the
+        // chip interfaces (Table 3).
+        t = traverse(_interLinks[scmp * _topo.numCmps + dcmp], t,
+                     _p.interLatency, _p.interBytesPerNs, sz);
+        account(NetLevel::Inter, msg);
+    }
+
+    deliver(msg, t);
+}
+
+void
+Network::deliver(const Msg &msg, Tick arrival)
+{
+    Controller *dst = _controllers.at(_topo.globalIndex(msg.dst));
+    if (dst == nullptr)
+        panic("message to unregistered controller %s",
+              msg.dst.toString().c_str());
+
+    ++_inFlight;
+    ++_totalMsgs;
+    _eq.scheduleAbs(arrival, [this, dst, msg]() {
+        --_inFlight;
+        dst->handleMsg(msg);
+    });
+}
+
+std::uint64_t
+Network::bytesByLevel(NetLevel level) const
+{
+    std::uint64_t sum = 0;
+    for (unsigned c = 0; c < unsigned(TrafficClass::NumClasses); ++c)
+        sum += _bytes[unsigned(level)][c];
+    return sum;
+}
+
+void
+Network::clearStats()
+{
+    for (auto &lvl : _bytes)
+        lvl.fill(0);
+    _totalMsgs = 0;
+}
+
+} // namespace tokencmp

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Interconnect model for the M-CMP target (paper Table 3).
+ *
+ * Three physical levels:
+ *  - intra-CMP: directly-connected on-chip crossbar, 2 ns, 64 GB/s per
+ *    source port;
+ *  - inter-CMP: directly-connected global links, 20 ns (including
+ *    interface, wire and synchronization), 16 GB/s per directed pair;
+ *  - memory links: 20 ns off-chip link between each CMP and its memory
+ *    controller.
+ *
+ * A message from one cache to another on the same chip traverses one
+ * intra segment; a cross-chip cache-to-cache message traverses one
+ * inter segment (the 20 ns figure subsumes the chip interfaces); a
+ * message to/from a remote memory controller traverses an inter segment
+ * plus the destination's memory link. Bandwidth is modeled per link with
+ * store-and-forward serialization, producing queueing under load.
+ *
+ * The network also owns the Figure 7 traffic accounting: bytes per
+ * (level, traffic class).
+ */
+
+#ifndef TOKENCMP_NET_NETWORK_HH
+#define TOKENCMP_NET_NETWORK_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/machine.hh"
+#include "net/message.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace tokencmp {
+
+class Controller;
+
+/** Link latencies and bandwidths (paper Table 3 defaults). */
+struct NetworkParams
+{
+    Tick intraLatency = ns(2);
+    double intraBytesPerNs = 64.0;  //!< 64 GB/s
+    Tick interLatency = ns(20);
+    double interBytesPerNs = 16.0;  //!< 16 GB/s
+    Tick memLinkLatency = ns(20);
+    double memLinkBytesPerNs = 16.0;
+    bool modelBandwidth = true;     //!< serialize on link bandwidth
+};
+
+/** Physical network levels for traffic accounting. */
+enum class NetLevel : std::uint8_t { Intra, Inter, MemLink, NumLevels };
+
+/** Printable name of a network level. */
+const char *netLevelName(NetLevel l);
+
+/**
+ * The interconnect: routes messages between registered controllers,
+ * modeling latency, per-link bandwidth and per-class traffic counters.
+ */
+class Network
+{
+  public:
+    Network(EventQueue &eq, const Topology &topo,
+            const NetworkParams &params);
+
+    /** Attach a controller; must be called before any send() to it. */
+    void registerController(Controller *c);
+
+    /**
+     * Send a message after `sender_delay` ticks of local processing
+     * (the sender's tag/directory access latency).
+     */
+    void send(Msg msg, Tick sender_delay = 0);
+
+    /** Messages currently in flight (for quiescence detection). */
+    std::uint64_t inFlight() const { return _inFlight; }
+
+    /** Total messages ever sent. */
+    std::uint64_t totalMessages() const { return _totalMsgs; }
+
+    /** Bytes moved on a level for one traffic class. */
+    std::uint64_t
+    bytes(NetLevel level, TrafficClass cls) const
+    {
+        return _bytes[unsigned(level)][unsigned(cls)];
+    }
+
+    /** Bytes moved on a level across all classes. */
+    std::uint64_t bytesByLevel(NetLevel level) const;
+
+    /** Reset traffic statistics (not link occupancy). */
+    void clearStats();
+
+    const Topology &topology() const { return _topo; }
+    EventQueue &eventQueue() { return _eq; }
+
+  private:
+    /** Occupancy of one serializing link. */
+    struct Link
+    {
+        Tick nextFree = 0;
+    };
+
+    /**
+     * Advance a message across one link.
+     *
+     * @param link     the link's occupancy state
+     * @param earliest when the message is ready to enter the link
+     * @param latency  propagation latency
+     * @param bpn      bandwidth in bytes per nanosecond
+     * @param bytes    message size
+     * @return arrival time at the far end
+     */
+    Tick traverse(Link &link, Tick earliest, Tick latency, double bpn,
+                  unsigned bytes);
+
+    void account(NetLevel level, const Msg &msg);
+    void deliver(const Msg &msg, Tick arrival);
+
+    EventQueue &_eq;
+    Topology _topo;
+    NetworkParams _p;
+
+    std::vector<Controller *> _controllers;       //!< by global index
+    std::vector<Link> _intraPorts;                //!< per source port
+    std::vector<Link> _intraGateways;             //!< inbound, per CMP
+    std::vector<Link> _interLinks;                //!< directed CMP pairs
+    std::vector<Link> _memLinks;                  //!< 2 per CMP (to/from)
+
+    std::uint64_t _inFlight = 0;
+    std::uint64_t _totalMsgs = 0;
+    std::array<std::array<std::uint64_t,
+                          unsigned(TrafficClass::NumClasses)>,
+               unsigned(NetLevel::NumLevels)>
+        _bytes{};
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_NET_NETWORK_HH

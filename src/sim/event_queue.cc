@@ -1,0 +1,63 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace tokencmp {
+
+void
+EventQueue::scheduleAbs(Tick when, Action action)
+{
+    if (when < _curTick)
+        panic("scheduling event in the past: %llu < %llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_curTick));
+    _heap.push(Entry{when, _nextSeq++, std::move(action)});
+}
+
+bool
+EventQueue::run(Tick horizon)
+{
+    while (!_heap.empty()) {
+        if (_heap.top().when > horizon)
+            return false;
+        // Move the action out before popping so re-entrant schedule()
+        // calls from inside the action see a consistent heap.
+        Entry e = std::move(const_cast<Entry &>(_heap.top()));
+        _heap.pop();
+        _curTick = e.when;
+        ++_executed;
+        e.action();
+    }
+    return true;
+}
+
+bool
+EventQueue::runUntil(const std::function<bool()> &done, Tick horizon)
+{
+    if (done())
+        return true;
+    while (!_heap.empty()) {
+        if (_heap.top().when > horizon)
+            return false;
+        Entry e = std::move(const_cast<Entry &>(_heap.top()));
+        _heap.pop();
+        _curTick = e.when;
+        ++_executed;
+        e.action();
+        if (done())
+            return true;
+    }
+    return false;
+}
+
+void
+EventQueue::reset()
+{
+    while (!_heap.empty())
+        _heap.pop();
+    _curTick = 0;
+    _nextSeq = 0;
+    _executed = 0;
+}
+
+} // namespace tokencmp

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue orders closures by (tick, sequence number), where
+ * the sequence number is a monotone insertion counter. Equal-tick events
+ * therefore execute in insertion order, which makes every simulation
+ * deterministic for a given seed.
+ */
+
+#ifndef TOKENCMP_SIM_EVENT_QUEUE_HH
+#define TOKENCMP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tokencmp {
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * The queue owns the simulated clock. schedule() enqueues a closure at
+ * an absolute or relative tick; run() drains events until the queue is
+ * empty or a configured horizon/stop condition fires.
+ */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /** Schedule an action at absolute tick `when` (>= curTick). */
+    void scheduleAbs(Tick when, Action action);
+
+    /** Schedule an action `delay` ticks from now. */
+    void schedule(Tick delay, Action action)
+    {
+        scheduleAbs(_curTick + delay, std::move(action));
+    }
+
+    /** True if no events are pending. */
+    bool empty() const { return _heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return _heap.size(); }
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Run until the queue is empty or the horizon is reached.
+     *
+     * @param horizon Stop once the next event lies beyond this tick
+     *                (default: effectively unbounded).
+     * @return true if the queue drained, false if stopped at horizon.
+     */
+    bool run(Tick horizon = ~Tick(0));
+
+    /**
+     * Run until `done` returns true (checked after each event), the
+     * queue drains, or the horizon passes.
+     *
+     * @return true iff `done` became true.
+     */
+    bool runUntil(const std::function<bool()> &done,
+                  Tick horizon = ~Tick(0));
+
+    /** Drop all pending events and reset the clock to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Action action;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    Tick _curTick = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,76 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tokencmp {
+
+namespace {
+
+void
+vreport(const char *tag, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("info", fmt, ap);
+    va_end(ap);
+}
+
+namespace trace {
+
+unsigned mask = 0;
+
+void
+print(Component c, const char *fmt, ...)
+{
+    if (!enabled(c))
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+    va_end(ap);
+}
+
+} // namespace trace
+
+} // namespace tokencmp

@@ -1,0 +1,79 @@
+#include "sim/random.hh"
+
+#include "sim/logging.hh"
+
+namespace tokencmp {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Random::reseed(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : _s)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Random::next()
+{
+    const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+    const std::uint64_t t = _s[1] << 17;
+    _s[2] ^= _s[0];
+    _s[3] ^= _s[1];
+    _s[1] ^= _s[2];
+    _s[0] ^= _s[3];
+    _s[2] ^= t;
+    _s[3] = rotl(_s[3], 45);
+    return result;
+}
+
+std::uint64_t
+Random::uniform(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Random::uniform: bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t(0) - ~std::uint64_t(0) % bound;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % bound;
+}
+
+std::int64_t
+Random::range(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("Random::range: lo > hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double
+Random::uniformDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+} // namespace tokencmp

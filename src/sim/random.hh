@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**),
+ * used for workload perturbation and the Alameldeen-style multi-seed
+ * error-bar methodology.
+ */
+
+#ifndef TOKENCMP_SIM_RANDOM_HH
+#define TOKENCMP_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace tokencmp {
+
+/**
+ * xoshiro256** generator with SplitMix64 seeding.
+ *
+ * Small, fast and reproducible across platforms; sufficient statistical
+ * quality for workload generation (not cryptographic).
+ */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        reseed(seed);
+    }
+
+    /** Re-seed the generator deterministically from one 64-bit value. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) with bound > 0. */
+    std::uint64_t uniform(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformDouble();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p) { return uniformDouble() < p; }
+
+  private:
+    std::uint64_t _s[4];
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_SIM_RANDOM_HH

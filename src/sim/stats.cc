@@ -1,0 +1,154 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace tokencmp {
+
+void
+RunningStat::add(double x)
+{
+    if (_n == 0) {
+        _min = _max = x;
+    } else {
+        _min = std::min(_min, x);
+        _max = std::max(_max, x);
+    }
+    ++_n;
+    _sum += x;
+    const double delta = x - _mean;
+    _mean += delta / static_cast<double>(_n);
+    _m2 += delta * (x - _mean);
+}
+
+void
+RunningStat::clear()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::variance() const
+{
+    if (_n < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_n - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double bucket_width, unsigned buckets)
+    : _width(bucket_width), _buckets(buckets, 0)
+{
+    if (bucket_width <= 0.0 || buckets == 0)
+        panic("Histogram: invalid geometry");
+}
+
+void
+Histogram::add(double x)
+{
+    ++_count;
+    _sum += x;
+    const auto idx = static_cast<std::size_t>(x / _width);
+    if (x < 0.0 || idx >= _buckets.size())
+        ++_overflow;
+    else
+        ++_buckets[idx];
+}
+
+void
+Histogram::clear()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _overflow = 0;
+    _count = 0;
+    _sum = 0.0;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (_count == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(_count)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        seen += _buckets[i];
+        if (seen >= target)
+            return (static_cast<double>(i) + 1.0) * _width;
+    }
+    return static_cast<double>(_buckets.size()) * _width;
+}
+
+double
+SeedSamples::mean() const
+{
+    if (_xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : _xs)
+        s += x;
+    return s / static_cast<double>(_xs.size());
+}
+
+double
+SeedSamples::errorBar() const
+{
+    const std::size_t n = _xs.size();
+    if (n < 2)
+        return 0.0;
+    const double m = mean();
+    double ss = 0.0;
+    for (double x : _xs)
+        ss += (x - m) * (x - m);
+    const double var = ss / static_cast<double>(n - 1);
+    return 1.96 * std::sqrt(var / static_cast<double>(n));
+}
+
+double
+StatSet::get(const std::string &key) const
+{
+    auto it = _vals.find(key);
+    return it == _vals.end() ? 0.0 : it->second;
+}
+
+namespace format {
+
+std::string
+meanErr(double mean, double err)
+{
+    char buf[64];
+    if (err > 0.0)
+        std::snprintf(buf, sizeof(buf), "%.3f±%.3f", mean, err);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f", mean);
+    return buf;
+}
+
+std::string
+padLeft(const std::string &s, std::size_t w)
+{
+    if (s.size() >= w)
+        return s;
+    return std::string(w - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t w)
+{
+    if (s.size() >= w)
+        return s;
+    return s + std::string(w - s.size(), ' ');
+}
+
+} // namespace format
+
+} // namespace tokencmp

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Statistics primitives: scalar counters, running (Welford) summaries,
+ * histograms, and the multi-seed sample aggregator used to compute the
+ * mean +/- 95% error bars reported by the benchmark harnesses
+ * (Alameldeen & Wood, HPCA 2003 methodology).
+ */
+
+#ifndef TOKENCMP_SIM_STATS_HH
+#define TOKENCMP_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tokencmp {
+
+/**
+ * Running summary of a stream of samples (count/mean/variance/extrema)
+ * using Welford's online algorithm.
+ */
+class RunningStat
+{
+  public:
+    void add(double x);
+    void clear();
+
+    std::uint64_t count() const { return _n; }
+    double mean() const { return _n ? _mean : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return _n ? _min : 0.0; }
+    double max() const { return _n ? _max : 0.0; }
+    double total() const { return _sum; }
+
+  private:
+    std::uint64_t _n = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+    double _sum = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over [0, bucketWidth * buckets), with an
+ * overflow bucket; used for miss-latency distributions.
+ */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width, unsigned buckets);
+
+    void add(double x);
+    void clear();
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    std::uint64_t bucket(unsigned i) const { return _buckets.at(i); }
+    std::uint64_t overflow() const { return _overflow; }
+    unsigned numBuckets() const { return _buckets.size(); }
+    double bucketWidth() const { return _width; }
+
+    /** Smallest x such that at least fraction q of samples are <= x. */
+    double percentile(double q) const;
+
+  private:
+    double _width;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+};
+
+/**
+ * Aggregates one scalar result per seed and reports the mean and the
+ * half-width of the 95% confidence interval (1.96 * stderr).
+ */
+class SeedSamples
+{
+  public:
+    void add(double x) { _xs.push_back(x); }
+    std::size_t count() const { return _xs.size(); }
+    double mean() const;
+    /** 95% confidence half-width (0 when fewer than two samples). */
+    double errorBar() const;
+    const std::vector<double> &samples() const { return _xs; }
+
+  private:
+    std::vector<double> _xs;
+};
+
+/**
+ * A named bag of scalar statistics produced by one simulation run.
+ * Keys are hierarchical strings ("traffic.inter.request_bytes").
+ */
+class StatSet
+{
+  public:
+    void add(const std::string &key, double v) { _vals[key] += v; }
+    void set(const std::string &key, double v) { _vals[key] = v; }
+    double get(const std::string &key) const;
+    bool has(const std::string &key) const
+    {
+        return _vals.count(key) != 0;
+    }
+    const std::map<std::string, double> &all() const { return _vals; }
+
+  private:
+    std::map<std::string, double> _vals;
+};
+
+namespace format {
+
+/** Format "mean +/- err" with sensible precision. */
+std::string meanErr(double mean, double err);
+
+/** Left-pad/right-pad helpers for plain-text tables. */
+std::string padLeft(const std::string &s, std::size_t w);
+std::string padRight(const std::string &s, std::size_t w);
+
+} // namespace format
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_SIM_STATS_HH

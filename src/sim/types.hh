@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fundamental simulator types: ticks, addresses, block geometry.
+ *
+ * One tick is one picosecond, so nanosecond-denominated latencies from
+ * the paper's Table 3 convert exactly and a 2 GHz processor cycle is an
+ * integral 500 ticks.
+ */
+
+#ifndef TOKENCMP_SIM_TYPES_HH
+#define TOKENCMP_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace tokencmp {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Ticks per nanosecond (tick = 1 ps). */
+constexpr Tick ticksPerNs = 1000;
+
+/** Convert a latency in nanoseconds to ticks. */
+constexpr Tick
+ns(std::uint64_t n)
+{
+    return n * ticksPerNs;
+}
+
+/** Cache block size in bytes (paper Table 3). */
+constexpr unsigned blockBytes = 64;
+
+/** log2 of the block size. */
+constexpr unsigned blockOffsetBits = 6;
+
+/** Align an address down to its cache block. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(blockBytes - 1);
+}
+
+/** Block number of an address (address >> 6). */
+constexpr Addr
+blockNumber(Addr a)
+{
+    return a >> blockOffsetBits;
+}
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_SIM_TYPES_HH

@@ -1,0 +1,87 @@
+#include "system/config.hh"
+
+namespace tokencmp {
+
+const char *
+protocolName(Protocol p)
+{
+    switch (p) {
+      case Protocol::DirectoryCMP: return "DirectoryCMP";
+      case Protocol::DirectoryCMPZero: return "DirectoryCMP-zero";
+      case Protocol::TokenArb0: return "TokenCMP-arb0";
+      case Protocol::TokenDst0: return "TokenCMP-dst0";
+      case Protocol::TokenDst4: return "TokenCMP-dst4";
+      case Protocol::TokenDst1: return "TokenCMP-dst1";
+      case Protocol::TokenDst1Pred: return "TokenCMP-dst1-pred";
+      case Protocol::TokenDst1Filt: return "TokenCMP-dst1-filt";
+      case Protocol::PerfectL2: return "PerfectL2";
+    }
+    return "?";
+}
+
+bool
+isToken(Protocol p)
+{
+    switch (p) {
+      case Protocol::TokenArb0:
+      case Protocol::TokenDst0:
+      case Protocol::TokenDst4:
+      case Protocol::TokenDst1:
+      case Protocol::TokenDst1Pred:
+      case Protocol::TokenDst1Filt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::vector<Protocol>
+allProtocols()
+{
+    return {Protocol::DirectoryCMP, Protocol::DirectoryCMPZero,
+            Protocol::TokenArb0, Protocol::TokenDst0,
+            Protocol::TokenDst4, Protocol::TokenDst1,
+            Protocol::TokenDst1Pred, Protocol::TokenDst1Filt,
+            Protocol::PerfectL2};
+}
+
+void
+SystemConfig::finalize()
+{
+    if (customPolicy) {
+        // Ablation mode: only the directory latency presets apply.
+        if (protocol == Protocol::DirectoryCMPZero)
+            dir.dirLatency = 0;
+        return;
+    }
+    switch (protocol) {
+      case Protocol::DirectoryCMP:
+        dir.dirLatency = ns(80);
+        break;
+      case Protocol::DirectoryCMPZero:
+        dir.dirLatency = 0;
+        break;
+      case Protocol::TokenArb0:
+        token.policy = token_variants::arb0();
+        break;
+      case Protocol::TokenDst0:
+        token.policy = token_variants::dst0();
+        break;
+      case Protocol::TokenDst4:
+        token.policy = token_variants::dst4();
+        break;
+      case Protocol::TokenDst1:
+        token.policy = token_variants::dst1();
+        break;
+      case Protocol::TokenDst1Pred:
+        token.policy = token_variants::dst1Pred();
+        break;
+      case Protocol::TokenDst1Filt:
+        token.policy = token_variants::dst1Filt();
+        break;
+      case Protocol::PerfectL2:
+        break;
+    }
+}
+
+} // namespace tokencmp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Target-system configuration (paper Table 3) and protocol selection.
+ */
+
+#ifndef TOKENCMP_SYSTEM_CONFIG_HH
+#define TOKENCMP_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/token_config.hh"
+#include "directory/dir_config.hh"
+#include "net/machine.hh"
+#include "net/network.hh"
+
+namespace tokencmp {
+
+/** Every protocol evaluated in the paper (Sections 6-8). */
+enum class Protocol : unsigned char {
+    DirectoryCMP,      //!< hierarchical MOESI directory, DRAM directory
+    DirectoryCMPZero,  //!< unrealistic zero-cycle directory
+    TokenArb0,         //!< persistent-only, arbiter activation
+    TokenDst0,         //!< persistent-only, distributed activation
+    TokenDst4,         //!< 1 transient + 3 retries
+    TokenDst1,         //!< 1 transient, then persistent
+    TokenDst1Pred,     //!< dst1 + contention predictor
+    TokenDst1Filt,     //!< dst1 + external-request filter
+    PerfectL2,         //!< infinite shared L2 lower bound
+};
+
+/** Printable protocol name (matches the paper's figures). */
+const char *protocolName(Protocol p);
+
+/** True for the TokenCMP variants. */
+bool isToken(Protocol p);
+
+/** All nine configurations. */
+std::vector<Protocol> allProtocols();
+
+/** Full system configuration; defaults reproduce Table 3. */
+struct SystemConfig
+{
+    Protocol protocol = Protocol::TokenDst1;
+    Topology topo{};  //!< 4 CMPs x 4 processors, 4 L2 banks
+
+    std::uint64_t l1Bytes = 128 * 1024;
+    unsigned l1Assoc = 4;
+    std::uint64_t l2BankBytes = 2 * 1024 * 1024;  //!< 8 MB / 4 banks
+    unsigned l2Assoc = 4;
+
+    NetworkParams net{};
+    TokenParams token{};
+    DirParams dir{};
+
+    std::uint64_t seed = 1;
+    bool audit = true;  //!< token-conservation auditing
+
+    /**
+     * Keep the caller's hand-set token policy instead of the Table 1
+     * preset implied by `protocol` (for ablations sweeping individual
+     * policy knobs).
+     */
+    bool customPolicy = false;
+
+    /** Apply protocol-specific knobs (Table 1 policies, dir latency). */
+    void finalize();
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_SYSTEM_CONFIG_HH

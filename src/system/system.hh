@@ -1,0 +1,116 @@
+/**
+ * @file
+ * System builder: constructs the full M-CMP target (processors,
+ * caches, interconnects, protocol controllers) for any of the nine
+ * protocol configurations and runs workloads on it.
+ */
+
+#ifndef TOKENCMP_SYSTEM_SYSTEM_HH
+#define TOKENCMP_SYSTEM_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/token_l1.hh"
+#include "core/token_l2.hh"
+#include "core/token_mem.hh"
+#include "directory/dir_l1.hh"
+#include "directory/dir_l2.hh"
+#include "directory/dir_mem.hh"
+#include "directory/perfect_l2.hh"
+#include "sim/stats.hh"
+#include "system/config.hh"
+#include "workload/workload.hh"
+
+namespace tokencmp {
+
+/** One fully built target machine. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Result of running one workload to completion. */
+    struct RunResult
+    {
+        bool completed = false;      //!< all threads finished
+        Tick runtime = 0;            //!< tick of last thread finish
+        std::uint64_t violations = 0;
+        StatSet stats;               //!< traffic, misses, persistents
+    };
+
+    /**
+     * Run a workload to completion (or `horizon` ticks) and gather
+     * statistics. The system is single-use: build a fresh System for
+     * each run.
+     */
+    RunResult run(Workload &workload, Tick horizon = ns(500000000));
+
+    SimContext &context() { return _ctx; }
+    const SystemConfig &config() const { return _cfg; }
+    Sequencer &sequencer(unsigned proc) { return *_sequencers.at(proc); }
+
+    TokenGlobals *tokenGlobals() { return _tokenGlobals.get(); }
+
+    /** Controller access for white-box tests. */
+    TokenL1 *tokenL1(unsigned cmp, unsigned proc, bool icache = false);
+    TokenL2 *tokenL2(unsigned cmp, unsigned bank);
+    TokenMem *tokenMem(unsigned cmp);
+    DirL1 *dirL1(unsigned cmp, unsigned proc, bool icache = false);
+    DirL2 *dirL2(unsigned cmp, unsigned bank);
+    DirMem *dirMem(unsigned cmp);
+
+  private:
+    void buildToken();
+    void buildDirectory();
+    void buildPerfect();
+    void harvest(StatSet &out) const;
+
+    SystemConfig _cfg;
+    SimContext _ctx;
+    std::unique_ptr<Network> _net;
+
+    std::unique_ptr<TokenGlobals> _tokenGlobals;
+    std::unique_ptr<DirGlobals> _dirGlobals;
+    std::unique_ptr<PerfectGlobals> _perfectGlobals;
+
+    std::vector<std::unique_ptr<Controller>> _controllers;
+    std::vector<std::unique_ptr<Sequencer>> _sequencers;
+
+    std::vector<TokenL1 *> _tokenL1s;
+    std::vector<TokenL2 *> _tokenL2s;
+    std::vector<TokenMem *> _tokenMems;
+    std::vector<DirL1 *> _dirL1s;
+    std::vector<DirL2 *> _dirL2s;
+    std::vector<DirMem *> _dirMems;
+    std::vector<PerfectL1 *> _perfectL1s;
+};
+
+/** Aggregated multi-seed experiment results (mean +/- 95% CI). */
+struct Experiment
+{
+    SeedSamples runtime;
+    SeedSamples interBytes;
+    SeedSamples intraBytes;
+    std::uint64_t violations = 0;
+    std::map<std::string, SeedSamples> stats;
+    bool allCompleted = true;
+};
+
+/**
+ * Run `seeds` independent, perturbed simulations of a workload
+ * (Alameldeen & Wood methodology) on fresh systems.
+ */
+Experiment runSeeds(SystemConfig cfg,
+                    const std::function<std::unique_ptr<Workload>()>
+                        &workload_factory,
+                    unsigned seeds, Tick horizon = ns(500000000));
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_SYSTEM_SYSTEM_HH

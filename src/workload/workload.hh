@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Workload abstraction: a factory of per-processor threads plus
+ * post-run semantic invariants (mutual exclusion, counter totals),
+ * which turn every benchmark run into an end-to-end protocol
+ * correctness check.
+ */
+
+#ifndef TOKENCMP_WORKLOAD_WORKLOAD_HH
+#define TOKENCMP_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cpu/thread.hh"
+
+namespace tokencmp {
+
+/** A multi-threaded benchmark program. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Create the thread that runs on processor `proc_id`. */
+    virtual std::unique_ptr<ThreadContext>
+    makeThread(SimContext &ctx, Sequencer &seq, unsigned num_procs,
+               std::uint64_t seed) = 0;
+
+    /** Reset shared bookkeeping before a fresh run. */
+    virtual void reset() {}
+
+    /** Semantic violations observed (0 for a correct protocol). */
+    virtual std::uint64_t violations() const { return 0; }
+
+    /**
+     * Tick at which measurement begins (after any cache-warming
+     * phase); the harness reports lastFinish - measureStart().
+     */
+    virtual Tick measureStart() const { return 0; }
+
+    virtual std::string name() const = 0;
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,41 @@
+// Temporary debugging harness for the DirectoryCMP barrier livelock.
+#include <cstdio>
+
+#include "system/system.hh"
+#include "workload/barrier.hh"
+
+using namespace tokencmp;
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg;
+    cfg.protocol = Protocol::DirectoryCMP;
+    cfg.seed = 3;
+    System sys(cfg);
+
+    BarrierParams p;
+    p.phases = argc > 1 ? unsigned(atoi(argv[1])) : 12;
+    p.workTime = ns(300);
+    BarrierWorkload wl(p);
+
+    auto res = sys.run(wl, ns(3000000));  // 3 ms horizon
+    std::printf("completed=%d runtime=%llu ns violations=%llu\n",
+                res.completed,
+                (unsigned long long)(res.runtime / ticksPerNs),
+                (unsigned long long)res.violations);
+    if (!res.completed) {
+        for (unsigned c = 0; c < 4; ++c) {
+            for (unsigned b = 0; b < 4; ++b)
+                sys.dirL2(c, b)->debugDump();
+            sys.dirMem(c)->debugDump();
+        }
+        // Which threads are stuck? Check per-sequencer op counts.
+        for (unsigned pr = 0; pr < 16; ++pr) {
+            std::printf("proc%u ops=%llu\n", pr,
+                        (unsigned long long)
+                            sys.sequencer(pr).opsCompleted());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * System-level unit tests: configuration finalization, protocol
+ * naming, construction of all nine targets, statistics harvesting,
+ * and the multi-seed experiment runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+#include "workload/locking.hh"
+
+namespace tokencmp::test {
+
+TEST(SystemConfig, FinalizeAppliesTable1Policies)
+{
+    SystemConfig cfg;
+    cfg.protocol = Protocol::TokenDst4;
+    cfg.finalize();
+    EXPECT_EQ(cfg.token.policy.maxTransients, 4u);
+    EXPECT_EQ(cfg.token.policy.activation,
+              PersistentActivation::Distributed);
+
+    cfg.protocol = Protocol::TokenArb0;
+    cfg.finalize();
+    EXPECT_EQ(cfg.token.policy.maxTransients, 0u);
+    EXPECT_EQ(cfg.token.policy.activation,
+              PersistentActivation::Arbiter);
+
+    cfg.protocol = Protocol::TokenDst1Pred;
+    cfg.finalize();
+    EXPECT_TRUE(cfg.token.policy.usePredictor);
+    EXPECT_FALSE(cfg.token.policy.useFilter);
+
+    cfg.protocol = Protocol::TokenDst1Filt;
+    cfg.finalize();
+    EXPECT_TRUE(cfg.token.policy.useFilter);
+
+    cfg.protocol = Protocol::DirectoryCMPZero;
+    cfg.finalize();
+    EXPECT_EQ(cfg.dir.dirLatency, 0u);
+
+    cfg.protocol = Protocol::DirectoryCMP;
+    cfg.finalize();
+    EXPECT_EQ(cfg.dir.dirLatency, ns(80));
+}
+
+TEST(SystemConfig, ProtocolNamesMatchPaper)
+{
+    EXPECT_STREQ(protocolName(Protocol::TokenDst1), "TokenCMP-dst1");
+    EXPECT_STREQ(protocolName(Protocol::TokenDst1Filt),
+                 "TokenCMP-dst1-filt");
+    EXPECT_STREQ(protocolName(Protocol::DirectoryCMPZero),
+                 "DirectoryCMP-zero");
+    EXPECT_EQ(allProtocols().size(), 9u);
+    EXPECT_TRUE(isToken(Protocol::TokenArb0));
+    EXPECT_FALSE(isToken(Protocol::PerfectL2));
+    EXPECT_FALSE(isToken(Protocol::DirectoryCMP));
+}
+
+TEST(System, BuildsAllNineProtocols)
+{
+    for (Protocol p : allProtocols()) {
+        SystemConfig cfg;
+        cfg.protocol = p;
+        System sys(cfg);
+        // Every processor must be able to complete a basic op.
+        EXPECT_EQ(runLoad(sys, 0, 0x1000), 0u) << protocolName(p);
+        EXPECT_EQ(runLoad(sys, 15, 0x1000), 0u) << protocolName(p);
+    }
+}
+
+TEST(System, ControllerAccessorsMatchProtocol)
+{
+    SystemConfig tok;
+    tok.protocol = Protocol::TokenDst1;
+    System ts(tok);
+    EXPECT_NE(ts.tokenL1(0, 0), nullptr);
+    EXPECT_NE(ts.tokenL1(3, 3, true), nullptr);
+    EXPECT_NE(ts.tokenL2(2, 1), nullptr);
+    EXPECT_NE(ts.tokenMem(1), nullptr);
+    EXPECT_EQ(ts.dirL1(0, 0), nullptr);
+
+    SystemConfig dir;
+    dir.protocol = Protocol::DirectoryCMP;
+    System ds(dir);
+    EXPECT_NE(ds.dirL1(0, 0), nullptr);
+    EXPECT_NE(ds.dirL2(1, 2), nullptr);
+    EXPECT_NE(ds.dirMem(3), nullptr);
+    EXPECT_EQ(ds.tokenL1(0, 0), nullptr);
+}
+
+TEST(System, HarvestedStatsArePopulated)
+{
+    SystemConfig cfg;
+    cfg.protocol = Protocol::TokenDst1;
+    System sys(cfg);
+    LockingParams p;
+    p.numLocks = 8;
+    p.acquiresPerProc = 5;
+    LockingWorkload wl(p);
+    auto res = sys.run(wl);
+    ASSERT_TRUE(res.completed);
+    EXPECT_GT(res.stats.get("l1.misses"), 0.0);
+    EXPECT_GT(res.stats.get("l1.hits"), 0.0);
+    EXPECT_GT(res.stats.get("token.transients"), 0.0);
+    EXPECT_GT(res.stats.get("traffic.intra.total"), 0.0);
+    EXPECT_GT(res.stats.get("traffic.inter.total"), 0.0);
+    EXPECT_GT(res.stats.get("net.messages"), 0.0);
+}
+
+TEST(System, SeedsPerturbButReproduce)
+{
+    auto run_with_seed = [](std::uint64_t seed) {
+        SystemConfig cfg;
+        cfg.protocol = Protocol::TokenDst1;
+        cfg.seed = seed;
+        System sys(cfg);
+        LockingParams p;
+        p.numLocks = 4;
+        p.acquiresPerProc = 8;
+        LockingWorkload wl(p);
+        return sys.run(wl).runtime;
+    };
+    const Tick a1 = run_with_seed(1);
+    const Tick a2 = run_with_seed(1);
+    const Tick b = run_with_seed(2);
+    EXPECT_EQ(a1, a2) << "same seed must reproduce exactly";
+    EXPECT_NE(a1, b) << "different seeds must perturb";
+}
+
+TEST(System, RunSeedsComputesErrorBars)
+{
+    SystemConfig cfg;
+    cfg.protocol = Protocol::DirectoryCMP;
+    LockingParams p;
+    p.numLocks = 16;
+    p.acquiresPerProc = 5;
+    Experiment e = runSeeds(
+        cfg, [&]() { return std::make_unique<LockingWorkload>(p); },
+        4);
+    ASSERT_TRUE(e.allCompleted);
+    EXPECT_EQ(e.runtime.count(), 4u);
+    EXPECT_GT(e.runtime.mean(), 0.0);
+    EXPECT_GT(e.runtime.errorBar(), 0.0);
+    EXPECT_GT(e.interBytes.mean(), 0.0);
+}
+
+TEST(System, MeasureStartExcludesWarmup)
+{
+    SystemConfig cfg;
+    cfg.protocol = Protocol::DirectoryCMP;
+    LockingParams warm, cold;
+    warm.numLocks = 64;
+    warm.acquiresPerProc = 5;
+    warm.warmup = true;
+    cold = warm;
+    cold.warmup = false;
+
+    System s1(cfg), s2(cfg);
+    LockingWorkload w1(warm), w2(cold);
+    auto r1 = s1.run(w1);
+    auto r2 = s2.run(w2);
+    ASSERT_TRUE(r1.completed && r2.completed);
+    EXPECT_GT(w1.measureStart(), 0u);
+    EXPECT_EQ(w2.measureStart(), 0u);
+}
+
+} // namespace tokencmp::test
