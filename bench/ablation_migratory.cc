@@ -18,15 +18,19 @@ using namespace tokencmp::bench;
 
 namespace {
 
-Experiment
-runWith(Protocol proto, bool migratory,
-        const std::function<std::unique_ptr<Workload>()> &factory)
+ExperimentResult
+runWith(Protocol proto, bool migratory, const WorkloadFactory &factory,
+        const std::string &wl_name)
 {
     SystemConfig cfg;
     cfg.protocol = proto;
     cfg.token.migratory = migratory;
     cfg.dir.migratory = migratory;
-    return runSeeds(cfg, factory, seedsPerPoint());
+    return runExperiment(cfg, factory,
+                         std::string(protocolName(proto)) + "/" +
+                             wl_name +
+                             (migratory ? "/migratory-on"
+                                        : "/migratory-off"));
 }
 
 } // namespace
@@ -34,6 +38,7 @@ runWith(Protocol proto, bool migratory,
 int
 main()
 {
+    JsonReport report("ablation_migratory");
     banner("Ablation: migratory-sharing optimization on/off",
            "read-modify-write sharing (OLTP-like) slows "
            "substantially without it; pure locking is less "
@@ -59,8 +64,10 @@ main()
                         std::function<std::unique_ptr<Workload>()>>{
                   "OLTP", oltp},
               {"locking", locking}}) {
-            const Experiment on = runWith(proto, true, factory);
-            const Experiment off = runWith(proto, false, factory);
+            const ExperimentResult on =
+                runWith(proto, true, factory, name);
+            const ExperimentResult off =
+                runWith(proto, false, factory, name);
             if (!on.allCompleted || !off.allCompleted) {
                 std::fprintf(stderr, "FAILED: %s\n",
                              protocolName(proto));

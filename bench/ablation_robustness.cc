@@ -18,7 +18,7 @@ using namespace tokencmp::bench;
 
 namespace {
 
-std::function<std::unique_ptr<Workload>()>
+WorkloadFactory
 lockFactory(unsigned locks)
 {
     return [locks]() -> std::unique_ptr<Workload> {
@@ -29,10 +29,13 @@ lockFactory(unsigned locks)
     };
 }
 
-Experiment
-runCfg(const SystemConfig &cfg, unsigned locks)
+ExperimentResult
+runCfg(const SystemConfig &cfg, unsigned locks,
+       const std::string &label)
 {
-    return runSeeds(cfg, lockFactory(locks), seedsPerPoint());
+    return runExperiment(cfg, lockFactory(locks),
+                         label + "@" + std::to_string(locks) +
+                             "locks");
 }
 
 } // namespace
@@ -40,6 +43,7 @@ runCfg(const SystemConfig &cfg, unsigned locks)
 int
 main()
 {
+    JsonReport report("ablation_robustness");
     banner("Ablation: robustness knobs (locking @2 and @64 locks, "
            "runtime in ns)",
            "short critical sections need the response-delay window "
@@ -54,8 +58,10 @@ main()
         cfg.protocol = Protocol::TokenDst1;
         cfg.token.responseDelay = delay;
         cfg.dir.responseDelay = delay;
-        const Experiment hi = runCfg(cfg, 2);
-        const Experiment lo = runCfg(cfg, 64);
+        const std::string label =
+            "delay=" + std::to_string(delay / ticksPerNs) + "ns";
+        const ExperimentResult hi = runCfg(cfg, 2, label);
+        const ExperimentResult lo = runCfg(cfg, 64, label);
         if (!hi.allCompleted || !lo.allCompleted)
             return 1;
         printRow("delay=" + std::to_string(delay / ticksPerNs) + "ns",
@@ -69,12 +75,12 @@ main()
         SystemConfig cfg;
         cfg.protocol = Protocol::TokenDst1;
         cfg.token.timeoutMult = mult;
-        const Experiment hi = runCfg(cfg, 2);
-        const Experiment lo = runCfg(cfg, 64);
+        char label[32];
+        std::snprintf(label, sizeof(label), "timeout-x%.0f", mult);
+        const ExperimentResult hi = runCfg(cfg, 2, label);
+        const ExperimentResult lo = runCfg(cfg, 64, label);
         if (!hi.allCompleted || !lo.allCompleted)
             return 1;
-        char label[32];
-        std::snprintf(label, sizeof(label), "timeout x%.0f", mult);
         printRow(label,
                  {hi.runtime.mean() / double(ticksPerNs),
                   lo.runtime.mean() / double(ticksPerNs)},
@@ -88,8 +94,10 @@ main()
         cfg.customPolicy = true;
         cfg.token.policy = token_variants::dst1();
         cfg.token.policy.maxTransients = budget;
-        const Experiment hi = runCfg(cfg, 2);
-        const Experiment lo = runCfg(cfg, 64);
+        const std::string label =
+            "transients=" + std::to_string(budget);
+        const ExperimentResult hi = runCfg(cfg, 2, label);
+        const ExperimentResult lo = runCfg(cfg, 64, label);
         if (!hi.allCompleted || !lo.allCompleted)
             return 1;
         printRow("transients=" + std::to_string(budget),
@@ -102,7 +110,7 @@ main()
     for (unsigned locks : {2u, 64u}) {
         SystemConfig cfg;
         cfg.protocol = Protocol::TokenDst1Pred;
-        const Experiment e = runCfg(cfg, locks);
+        const ExperimentResult e = runCfg(cfg, locks, "dst1-pred");
         if (!e.allCompleted)
             return 1;
         printRow("dst1-pred @" + std::to_string(locks),

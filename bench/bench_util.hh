@@ -1,21 +1,22 @@
 /**
  * @file
  * Shared helpers for the paper-reproduction benchmark harnesses:
- * experiment runners and plain-text table printers that emit the rows
- * and series the paper's tables and figures report.
+ * experiment runners, plain-text table printers, and a JSON report
+ * sink so every target leaves a machine-readable BENCH_<name>.json
+ * next to its stdout tables (the perf trajectory record).
  */
 
 #ifndef TOKENCMP_BENCH_BENCH_UTIL_HH
 #define TOKENCMP_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <functional>
-#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "system/system.hh"
+#include "system/experiment.hh"
 #include "workload/workload.hh"
 
 namespace tokencmp::bench {
@@ -29,15 +30,110 @@ seedsPerPoint()
     return 3;
 }
 
-/** Run one (protocol, workload) cell. */
-inline Experiment
-runCell(Protocol proto,
-        const std::function<std::unique_ptr<Workload>()> &factory,
-        unsigned seeds = 0)
+/** Worker threads per experiment (TOKENCMP_PARALLEL, default #cores). */
+inline unsigned
+defaultParallelism()
+{
+    if (const char *env = std::getenv("TOKENCMP_PARALLEL"))
+        return unsigned(std::max(1, atoi(env)));
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+/**
+ * Collects every experiment a bench target runs and writes them as
+ * BENCH_<name>.json on destruction (one file per target). While an
+ * instance is alive, runCell()/runExperiment() record into it
+ * automatically.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string name) : _name(std::move(name))
+    {
+        active() = this;
+    }
+
+    JsonReport(const JsonReport &) = delete;
+    JsonReport &operator=(const JsonReport &) = delete;
+
+    ~JsonReport()
+    {
+        active() = nullptr;
+        write();
+    }
+
+    void
+    add(const std::string &label, const ExperimentResult &e)
+    {
+        _cells.push_back(e.toJson(label));
+    }
+
+    /** Append a raw JSON object (for non-Experiment rows). */
+    void addRaw(const std::string &json) { _cells.push_back(json); }
+
+    void
+    write() const
+    {
+        const std::string path = "BENCH_" + _name + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "warn: cannot write %s\n",
+                         path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\"bench\": %s, \"cells\": [",
+                     json::quote(_name).c_str());
+        for (std::size_t i = 0; i < _cells.size(); ++i)
+            std::fprintf(f, "%s%s", i ? ",\n  " : "\n  ",
+                         _cells[i].c_str());
+        std::fprintf(f, "\n]}\n");
+        std::fclose(f);
+        std::printf("\nwrote %s (%zu cells)\n", path.c_str(),
+                    _cells.size());
+    }
+
+    static JsonReport *&
+    active()
+    {
+        static JsonReport *current = nullptr;
+        return current;
+    }
+
+  private:
+    std::string _name;
+    std::vector<std::string> _cells;
+};
+
+/**
+ * Run one experiment cell from an explicit config; records it in the
+ * active JsonReport under `label` (defaulting to protocol/workload).
+ */
+inline ExperimentResult
+runExperiment(const SystemConfig &cfg, const WorkloadFactory &factory,
+              std::string label = "", unsigned seeds = 0)
+{
+    ExperimentResult e = Experiment::of(cfg)
+                             .workload(factory)
+                             .seeds(seeds ? seeds : seedsPerPoint())
+                             .parallelism(defaultParallelism())
+                             .run();
+    if (JsonReport *rep = JsonReport::active()) {
+        if (label.empty())
+            label = e.protocol + "/" + e.workload;
+        rep->add(label, e);
+    }
+    return e;
+}
+
+/** Run one (protocol, workload) cell with default Table 3 config. */
+inline ExperimentResult
+runCell(Protocol proto, const WorkloadFactory &factory,
+        const std::string &label = "", unsigned seeds = 0)
 {
     SystemConfig cfg;
     cfg.protocol = proto;
-    return runSeeds(cfg, factory, seeds ? seeds : seedsPerPoint());
+    return runExperiment(cfg, factory, label, seeds);
 }
 
 inline void

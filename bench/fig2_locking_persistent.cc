@@ -21,6 +21,7 @@ using namespace tokencmp::bench;
 int
 main()
 {
+    JsonReport report("fig2_locking_persistent");
     banner("Figure 2: locking micro-benchmark, persistent requests "
            "only",
            "TokenCMP-arb0 >> DirectoryCMP at high contention; "
@@ -43,8 +44,8 @@ main()
     };
 
     // Baseline: DirectoryCMP at 512 locks.
-    const Experiment base =
-        runCell(Protocol::DirectoryCMP, factory(512));
+    const ExperimentResult base =
+        runCell(Protocol::DirectoryCMP, factory(512), "baseline@512");
     const double base_rt = base.runtime.mean();
     std::printf("baseline DirectoryCMP @512 locks: %.0f ns\n\n",
                 base_rt / double(ticksPerNs));
@@ -59,7 +60,10 @@ main()
     for (Protocol proto : protos) {
         std::vector<double> vals, errs;
         for (unsigned locks : lock_counts) {
-            const Experiment e = runCell(proto, factory(locks));
+            const ExperimentResult e =
+                runCell(proto, factory(locks),
+                        std::string(protocolName(proto)) + "@" +
+                            std::to_string(locks));
             if (!e.allCompleted || e.violations != 0) {
                 std::fprintf(stderr, "FAILED: %s @%u locks\n",
                              protocolName(proto), locks);

@@ -22,6 +22,7 @@ using namespace tokencmp::bench;
 int
 main()
 {
+    JsonReport report("fig3_locking_transient");
     banner("Figure 3: locking micro-benchmark, transient + persistent "
            "requests",
            "low contention: TokenCMP < DirectoryCMP; high contention: "
@@ -44,8 +45,8 @@ main()
         };
     };
 
-    const Experiment base =
-        runCell(Protocol::DirectoryCMP, factory(512));
+    const ExperimentResult base =
+        runCell(Protocol::DirectoryCMP, factory(512), "baseline@512");
     const double base_rt = base.runtime.mean();
     std::printf("baseline DirectoryCMP @512 locks: %.0f ns\n\n",
                 base_rt / double(ticksPerNs));
@@ -58,7 +59,10 @@ main()
     for (Protocol proto : protos) {
         std::vector<double> vals, errs;
         for (unsigned locks : lock_counts) {
-            const Experiment e = runCell(proto, factory(locks));
+            const ExperimentResult e =
+                runCell(proto, factory(locks),
+                        std::string(protocolName(proto)) + "@" +
+                            std::to_string(locks));
             if (!e.allCompleted || e.violations != 0) {
                 std::fprintf(stderr, "FAILED: %s @%u locks\n",
                              protocolName(proto), locks);

@@ -19,6 +19,7 @@ using namespace tokencmp::bench;
 int
 main()
 {
+    JsonReport report("fig6_macro_runtime");
     banner("Figure 6: commercial workload runtime "
            "(normalized to DirectoryCMP)",
            "TokenCMP-dst1 faster than DirectoryCMP by ~50% (OLTP), "
@@ -37,15 +38,16 @@ main()
         auto factory = [&wl]() -> std::unique_ptr<Workload> {
             return std::make_unique<SyntheticWorkload>(wl);
         };
-        const Experiment base =
-            runCell(Protocol::DirectoryCMP, factory);
+        const ExperimentResult base =
+            runCell(Protocol::DirectoryCMP, factory,
+                    "baseline/" + wl.label);
         const double base_rt = base.runtime.mean();
 
         std::printf("\n--- %s (baseline %.0f ns) ---\n",
                     wl.label.c_str(), base_rt / double(ticksPerNs));
         printHeaderRow({"norm.rt", "speedup%", "persist%"});
         for (Protocol proto : protos) {
-            const Experiment e = runCell(proto, factory);
+            const ExperimentResult e = runCell(proto, factory);
             if (!e.allCompleted) {
                 std::fprintf(stderr, "FAILED: %s on %s\n",
                              protocolName(proto), wl.label.c_str());

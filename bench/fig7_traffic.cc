@@ -28,7 +28,7 @@ const std::vector<TrafficClass> kClasses = {
     TrafficClass::Persistent};
 
 double
-classBytes(const Experiment &e, NetLevel level, TrafficClass c)
+classBytes(const ExperimentResult &e, NetLevel level, TrafficClass c)
 {
     const std::string key = std::string("traffic.") +
                             netLevelName(level) + "." +
@@ -39,7 +39,7 @@ classBytes(const Experiment &e, NetLevel level, TrafficClass c)
 
 void
 printLevel(const char *title, NetLevel level,
-           const std::vector<std::pair<Protocol, Experiment>> &cells,
+           const std::vector<std::pair<Protocol, ExperimentResult>> &cells,
            double base_total)
 {
     std::printf("\n--- %s (normalized to DirectoryCMP total) ---\n",
@@ -65,6 +65,7 @@ printLevel(const char *title, NetLevel level,
 int
 main()
 {
+    JsonReport report("fig7_traffic");
     banner("Figure 7: traffic by message class (a: inter-CMP, "
            "b: intra-CMP)",
            "TokenCMP inter-CMP bytes <= DirectoryCMP at 4 CMPs; "
@@ -85,7 +86,7 @@ main()
             return std::make_unique<SyntheticWorkload>(wl);
         };
         std::printf("\n===== workload %s =====\n", wl.label.c_str());
-        std::vector<std::pair<Protocol, Experiment>> cells;
+        std::vector<std::pair<Protocol, ExperimentResult>> cells;
         for (Protocol proto : protos)
             cells.emplace_back(proto, runCell(proto, factory));
         for (const auto &[proto, e] : cells) {

@@ -19,6 +19,7 @@ using namespace tokencmp::bench;
 int
 main()
 {
+    JsonReport report("table4_barrier");
     banner("Table 4: barrier micro-benchmark runtime "
            "(normalized to DirectoryCMP)",
            "arb0 and dst4 notably worse than DirectoryCMP (the "
@@ -43,18 +44,23 @@ main()
 
     double base_fixed = 0.0, base_var = 0.0;
     {
-        const Experiment f =
-            runCell(Protocol::DirectoryCMP, factory(0));
-        const Experiment v =
-            runCell(Protocol::DirectoryCMP, factory(ns(1000)));
+        const ExperimentResult f = runCell(
+            Protocol::DirectoryCMP, factory(0), "baseline/fixed");
+        const ExperimentResult v =
+            runCell(Protocol::DirectoryCMP, factory(ns(1000)),
+                    "baseline/jitter");
         base_fixed = f.runtime.mean();
         base_var = v.runtime.mean();
     }
 
     printHeaderRow({"3000ns", "3000±U(1000)"});
     for (Protocol proto : protos) {
-        const Experiment f = runCell(proto, factory(0));
-        const Experiment v = runCell(proto, factory(ns(1000)));
+        const ExperimentResult f =
+            runCell(proto, factory(0),
+                    std::string(protocolName(proto)) + "/fixed");
+        const ExperimentResult v =
+            runCell(proto, factory(ns(1000)),
+                    std::string(protocolName(proto)) + "/jitter");
         if (!f.allCompleted || !v.allCompleted ||
             f.violations + v.violations != 0) {
             std::fprintf(stderr, "FAILED: %s\n", protocolName(proto));

@@ -21,11 +21,13 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "mc/checker.hh"
 #include "mc/dir_model.hh"
 #include "mc/token_model.hh"
 
 using namespace tokencmp::mc;
+using tokencmp::bench::JsonReport;
 
 namespace {
 
@@ -40,6 +42,22 @@ report(const char *label, const CheckResult &r)
                 r.progress ? ", progress" : "");
     if (!r.safe)
         std::printf("%-24s   violation: %s\n", "", r.violation.c_str());
+    if (JsonReport *rep = JsonReport::active()) {
+        char row[256];
+        std::snprintf(
+            row, sizeof(row),
+            "{\"label\": %s, \"states\": %llu, "
+            "\"transitions\": %llu, \"depth\": %u, "
+            "\"seconds\": %.3f, \"safe\": %s, \"deadlockFree\": %s, "
+            "\"progress\": %s}",
+            tokencmp::json::quote(label).c_str(),
+            (unsigned long long)r.states,
+            (unsigned long long)r.transitions, r.diameter, r.seconds,
+            r.safe ? "true" : "false",
+            r.deadlockFree ? "true" : "false",
+            r.progress ? "true" : "false");
+        rep->addRaw(row);
+    }
 }
 
 } // namespace
@@ -47,6 +65,7 @@ report(const char *label, const CheckResult &r)
 int
 main()
 {
+    JsonReport json("table5_modelcheck");
     std::printf("\n=== Section 5: model-checking complexity ===\n");
     std::printf("paper expectation: token substrate ~ flat directory; "
                 "dst > arb > safety-only; all clean models verify\n\n");

@@ -1,16 +1,20 @@
 /**
  * @file
  * Contention study: sweep the lock count of the Table 2 locking
- * micro-benchmark for one protocol and print runtime, persistent
- * request usage and traffic — the raw material behind Figures 2/3.
+ * micro-benchmark for one protocol through the ExperimentRunner and
+ * print runtime (with 95% confidence bars), persistent request usage
+ * and traffic — the raw material behind Figures 2/3. Per-seed progress
+ * is streamed via the runner's onSeedDone callback.
  *
- *   $ ./locking_contention [protocol 0..8] [acquires]
+ *   $ ./locking_contention [protocol 0..8] [acquires] [seeds]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
-#include "system/system.hh"
+#include "system/experiment.hh"
 #include "workload/locking.hh"
 
 using namespace tokencmp;
@@ -26,10 +30,15 @@ main(int argc, char **argv)
     unsigned acquires = 25;
     if (argc > 2)
         acquires = unsigned(std::atoi(argv[2]));
+    unsigned seeds = 3;
+    if (argc > 3)
+        seeds = unsigned(std::max(1, std::atoi(argv[3])));
 
-    std::printf("protocol: %s, %u acquires per processor\n\n",
-                protocolName(proto), acquires);
-    std::printf("%8s %12s %10s %12s %12s %10s\n", "locks",
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("protocol: %s, %u acquires per processor, %u seeds, "
+                "parallelism %u\n\n",
+                protocolName(proto), acquires, seeds, hw ? hw : 1);
+    std::printf("%8s %18s %10s %12s %12s %10s\n", "locks",
                 "runtime(ns)", "L1 misses", "persistents",
                 "inter bytes", "viol");
 
@@ -37,22 +46,38 @@ main(int argc, char **argv)
                            512u}) {
         SystemConfig cfg;
         cfg.protocol = proto;
-        System sys(cfg);
-        LockingParams p;
-        p.numLocks = locks;
-        p.acquiresPerProc = acquires;
-        LockingWorkload wl(p);
-        auto res = sys.run(wl);
-        if (!res.completed) {
+        ExperimentResult e =
+            Experiment::of(cfg)
+                .workload([locks,
+                           acquires]() -> std::unique_ptr<Workload> {
+                    LockingParams p;
+                    p.numLocks = locks;
+                    p.acquiresPerProc = acquires;
+                    return std::make_unique<LockingWorkload>(p);
+                })
+                .seeds(seeds)
+                .parallelism(hw ? hw : 1)
+                .onSeedDone([locks](const SeedProgress &p) {
+                    std::fprintf(stderr,
+                                 "  [%u locks] seed %llu done "
+                                 "(%u/%u)%s\n",
+                                 locks,
+                                 (unsigned long long)p.seedValue,
+                                 p.seedsDone, p.seedsTotal,
+                                 p.completed ? "" : " TIMED OUT");
+                })
+                .run();
+        if (!e.allCompleted) {
             std::printf("%8u DID NOT COMPLETE\n", locks);
             return 1;
         }
-        std::printf("%8u %12llu %10.0f %12.0f %12.0f %10llu\n", locks,
-                    (unsigned long long)(res.runtime / ticksPerNs),
-                    res.stats.get("l1.misses"),
-                    res.stats.get("token.persistentIssued"),
-                    res.stats.get("traffic.inter.total"),
-                    (unsigned long long)res.violations);
+        std::printf("%8u %12.0f±%4.0f %10.0f %12.0f %12.0f %10llu\n",
+                    locks, e.runtime.mean() / double(ticksPerNs),
+                    e.runtime.errorBar() / double(ticksPerNs),
+                    e.stats["l1.misses"].mean(),
+                    e.stats["token.persistentIssued"].mean(),
+                    e.interBytes.mean(),
+                    (unsigned long long)e.violations);
     }
     return 0;
 }

@@ -2,16 +2,18 @@
  * @file
  * Protocol comparison on a commercial-style workload: runs the OLTP
  * proxy (migratory, sharing-miss dominated — the paper's headline
- * case) on every protocol configuration and prints runtime, miss
- * counts and traffic side by side.
+ * case) on every registered protocol configuration through the
+ * ExperimentRunner (3 perturbed seeds, run in parallel) and prints
+ * runtime with 95% confidence bars, miss counts and traffic.
  *
  *   $ ./protocol_comparison [ops_per_proc]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
-#include "system/system.hh"
+#include "system/experiment.hh"
 #include "workload/synthetic.hh"
 
 using namespace tokencmp;
@@ -25,31 +27,37 @@ main(int argc, char **argv)
 
     std::printf("OLTP proxy: %u ops/processor, 16 processors\n\n",
                 wl.opsPerProc);
-    std::printf("%-22s %10s %8s %10s %12s %12s\n", "protocol",
+    std::printf("%-22s %16s %8s %10s %12s %12s\n", "protocol",
                 "runtime", "vs Dir", "L1 misses", "inter bytes",
                 "intra bytes");
 
+    const unsigned hw = std::thread::hardware_concurrency();
     double dir_runtime = 0.0;
     for (Protocol proto : allProtocols()) {
         SystemConfig cfg;
         cfg.protocol = proto;
-        System sys(cfg);
-        SyntheticWorkload workload(wl);
-        auto res = sys.run(workload);
-        if (!res.completed) {
+        ExperimentResult e =
+            Experiment::of(cfg)
+                .workload([&wl]() -> std::unique_ptr<Workload> {
+                    return std::make_unique<SyntheticWorkload>(wl);
+                })
+                .seeds(3)
+                .parallelism(hw ? hw : 1)
+                .run();
+        if (!e.allCompleted) {
             std::printf("%-22s DID NOT COMPLETE\n",
                         protocolName(proto));
             continue;
         }
-        const double rt = double(res.runtime) / double(ticksPerNs);
+        const double rt = e.runtime.mean() / double(ticksPerNs);
+        const double err = e.runtime.errorBar() / double(ticksPerNs);
         if (proto == Protocol::DirectoryCMP)
             dir_runtime = rt;
-        std::printf("%-22s %8.0fns %7.2fx %10.0f %12.0f %12.0f\n",
-                    protocolName(proto), rt,
+        std::printf("%-22s %8.0f±%5.0fns %7.2fx %10.0f %12.0f %12.0f\n",
+                    protocolName(proto), rt, err,
                     dir_runtime > 0 ? dir_runtime / rt : 1.0,
-                    res.stats.get("l1.misses"),
-                    res.stats.get("traffic.inter.total"),
-                    res.stats.get("traffic.intra.total"));
+                    e.stats["l1.misses"].mean(), e.interBytes.mean(),
+                    e.intraBytes.mean());
     }
     std::printf("\n(vs Dir > 1.0 means faster than DirectoryCMP)\n");
     return 0;

@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "system/system.hh"
+#include "system/experiment.hh"
 #include "workload/synthetic.hh"
 
 using namespace tokencmp;
@@ -33,11 +33,17 @@ main(int argc, char **argv)
          {Protocol::DirectoryCMP, Protocol::TokenDst1}) {
         SystemConfig cfg;
         cfg.protocol = proto;
-        System sys(cfg);
-        SyntheticWorkload workload(wl);
-        auto res = sys.run(workload);
-        if (!res.completed)
+        // One seed: we want the anatomy of a single run, not CIs.
+        ExperimentResult e =
+            Experiment::of(cfg)
+                .workload([&wl]() -> std::unique_ptr<Workload> {
+                    return std::make_unique<SyntheticWorkload>(wl);
+                })
+                .seeds(1)
+                .run();
+        if (!e.allCompleted)
             return 1;
+        const System::RunResult &res = e.perSeed.front();
 
         std::printf("\n%s (runtime %llu ns)\n", protocolName(proto),
                     (unsigned long long)(res.runtime / ticksPerNs));

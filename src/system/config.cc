@@ -48,6 +48,11 @@ allProtocols()
 void
 SystemConfig::finalize()
 {
+    if (finalized())
+        return;
+    _finalized = true;
+    _finalizedFor = protocol;
+
     if (customPolicy) {
         // Ablation mode: only the directory latency presets apply.
         if (protocol == Protocol::DirectoryCMPZero)

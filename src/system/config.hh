@@ -64,8 +64,25 @@ struct SystemConfig
      */
     bool customPolicy = false;
 
-    /** Apply protocol-specific knobs (Table 1 policies, dir latency). */
+    /**
+     * Apply protocol-specific knobs (Table 1 policies, dir latency).
+     * Idempotent: a second call for the same protocol is a no-op, so a
+     * caller may finalize, hand-tune individual knobs, and still pass
+     * the config to `System` (which finalizes defensively) without the
+     * presets being re-applied over the tuning. Changing `protocol`
+     * re-arms finalization.
+     */
     void finalize();
+
+    /** Whether finalize() has been applied for the current protocol. */
+    bool finalized() const
+    {
+        return _finalized && _finalizedFor == protocol;
+    }
+
+  private:
+    bool _finalized = false;
+    Protocol _finalizedFor = Protocol::TokenDst1;
 };
 
 } // namespace tokencmp

@@ -1,0 +1,63 @@
+#include "system/protocol_registry.hh"
+
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace tokencmp {
+
+ProtocolRegistry &
+ProtocolRegistry::instance()
+{
+    static ProtocolRegistry reg;
+    return reg;
+}
+
+void
+ProtocolRegistry::registerProtocol(
+    std::initializer_list<Protocol> protos, Factory factory)
+{
+    for (Protocol p : protos) {
+        if (_factories.count(p) != 0) {
+            panic("protocol %s registered twice", protocolName(p));
+        }
+        _factories[p] = factory;
+    }
+}
+
+std::unique_ptr<ProtocolBuilder>
+ProtocolRegistry::create(Protocol p) const
+{
+    auto it = _factories.find(p);
+    if (it == _factories.end()) {
+        std::string have;
+        for (const auto &[proto, f] : _factories) {
+            (void)f;
+            have += std::string(have.empty() ? "" : ", ") +
+                    protocolName(proto);
+        }
+        fatal("no builder registered for protocol %s (registered: %s); "
+              "was the family's translation unit linked in?",
+              protocolName(p), have.c_str());
+    }
+    return it->second();
+}
+
+bool
+ProtocolRegistry::known(Protocol p) const
+{
+    return _factories.count(p) != 0;
+}
+
+std::vector<Protocol>
+ProtocolRegistry::registered() const
+{
+    std::vector<Protocol> out;
+    for (const auto &[p, f] : _factories) {
+        (void)f;
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace tokencmp

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Pluggable protocol construction: each protocol family (token,
+ * directory, perfect) registers a builder for the `Protocol` values it
+ * implements, and `System` constructs whatever the registry hands it.
+ *
+ * Adding a protocol no longer touches the system core: define a
+ * `ProtocolBuilder` subclass, register it with a static
+ * `ProtocolRegistrar`, and make sure its translation unit is linked
+ * into the target (the build links the core as an object library so
+ * self-registration is never dropped by the archiver).
+ */
+
+#ifndef TOKENCMP_SYSTEM_PROTOCOL_REGISTRY_HH
+#define TOKENCMP_SYSTEM_PROTOCOL_REGISTRY_HH
+
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "system/config.hh"
+
+namespace tokencmp {
+
+class System;
+class StatSet;
+struct TokenGlobals;
+
+/**
+ * Per-System protocol instance. `build()` constructs the family's
+ * controllers against the System under construction (registering them
+ * with the network and binding sequencers through the System's
+ * builder-facing API); the other hooks let the family report its
+ * protocol-specific statistics and run end-of-run checks without the
+ * System knowing any concrete controller type.
+ */
+class ProtocolBuilder
+{
+  public:
+    virtual ~ProtocolBuilder() = default;
+
+    /** Construct all controllers for `sys` (config via sys.config()). */
+    virtual void build(System &sys) = 0;
+
+    /** Harvest family-specific statistics after a run. */
+    virtual void harvest(StatSet &out) const = 0;
+
+    /** End-of-run invariant checks (e.g. token conservation). */
+    virtual void verifyQuiescent(bool fatal_on_violation) const
+    {
+        (void)fatal_on_violation;
+    }
+
+    /** Family-wide run statistics (e.g. persistent requests issued). */
+    virtual void exportRunStats(StatSet &out) const { (void)out; }
+
+    /** Token substrate globals, or nullptr for non-token families. */
+    virtual TokenGlobals *tokenGlobals() { return nullptr; }
+};
+
+/**
+ * Process-wide map from `Protocol` values to builder factories.
+ * Families self-register at static-initialization time; the registry
+ * is effectively immutable once `main` begins, so concurrent
+ * `ExperimentRunner` workers may look up builders without locking.
+ */
+class ProtocolRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<ProtocolBuilder>()>;
+
+    static ProtocolRegistry &instance();
+
+    /** Register `factory` for each protocol; fatal on duplicates. */
+    void registerProtocol(std::initializer_list<Protocol> protos,
+                          Factory factory);
+
+    /** Instantiate the builder for `p`; fatal if unregistered. */
+    std::unique_ptr<ProtocolBuilder> create(Protocol p) const;
+
+    bool known(Protocol p) const;
+    std::vector<Protocol> registered() const;
+
+  private:
+    ProtocolRegistry() = default;
+    std::map<Protocol, Factory> _factories;
+};
+
+/** Static self-registration helper for protocol family files. */
+struct ProtocolRegistrar
+{
+    ProtocolRegistrar(std::initializer_list<Protocol> protos,
+                      ProtocolRegistry::Factory factory)
+    {
+        ProtocolRegistry::instance().registerProtocol(protos,
+                                                      std::move(factory));
+    }
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_SYSTEM_PROTOCOL_REGISTRY_HH

@@ -1,5 +1,7 @@
 #include "system/system.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace tokencmp {
@@ -15,191 +17,30 @@ System::System(const SystemConfig &cfg) : _cfg(cfg)
     for (unsigned p = 0; p < _ctx.topo.numProcs(); ++p)
         _sequencers.push_back(std::make_unique<Sequencer>(_ctx, p));
 
-    switch (_cfg.protocol) {
-      case Protocol::PerfectL2:
-        buildPerfect();
-        break;
-      case Protocol::DirectoryCMP:
-      case Protocol::DirectoryCMPZero:
-        buildDirectory();
-        break;
-      default:
-        buildToken();
-        break;
-    }
+    _proto = ProtocolRegistry::instance().create(_cfg.protocol);
+    _proto->build(*this);
 }
 
 System::~System() = default;
 
 void
-System::buildToken()
+System::adopt(std::unique_ptr<Controller> c, bool on_network)
 {
-    _tokenGlobals =
-        std::make_unique<TokenGlobals>(_cfg.token, _cfg.audit);
-    const Topology &t = _ctx.topo;
-
-    for (unsigned c = 0; c < t.numCmps; ++c) {
-        for (unsigned p = 0; p < t.procsPerCmp; ++p) {
-            auto d = std::make_unique<TokenL1>(
-                _ctx, t.l1d(c, p), *_tokenGlobals, _cfg.l1Bytes,
-                _cfg.l1Assoc);
-            auto i = std::make_unique<TokenL1>(
-                _ctx, t.l1i(c, p), *_tokenGlobals, _cfg.l1Bytes,
-                _cfg.l1Assoc);
-            _net->registerController(d.get());
-            _net->registerController(i.get());
-            _tokenL1s.push_back(d.get());
-            _tokenL1s.push_back(i.get());
-            sequencer(t.procIdOf(t.l1d(c, p)))
-                .bind(d.get(), i.get());
-            _controllers.push_back(std::move(d));
-            _controllers.push_back(std::move(i));
-        }
-        for (unsigned b = 0; b < t.l2BanksPerCmp; ++b) {
-            auto l2 = std::make_unique<TokenL2>(
-                _ctx, t.l2(c, b), *_tokenGlobals, _cfg.l2BankBytes,
-                _cfg.l2Assoc);
-            _net->registerController(l2.get());
-            _tokenL2s.push_back(l2.get());
-            _controllers.push_back(std::move(l2));
-        }
-        auto mem = std::make_unique<TokenMem>(_ctx, t.mem(c),
-                                              *_tokenGlobals);
-        _net->registerController(mem.get());
-        _tokenMems.push_back(mem.get());
-        _controllers.push_back(std::move(mem));
+    if (_byId.count(c->id()) != 0) {
+        panic("duplicate controller %s adopted",
+              c->id().toString().c_str());
     }
+    if (on_network)
+        _net->registerController(c.get());
+    _byId[c->id()] = c.get();
+    _controllers.push_back(std::move(c));
 }
 
-void
-System::buildDirectory()
+Controller *
+System::controllerAt(MachineID id) const
 {
-    _dirGlobals = std::make_unique<DirGlobals>(_cfg.dir);
-    const Topology &t = _ctx.topo;
-
-    for (unsigned c = 0; c < t.numCmps; ++c) {
-        for (unsigned p = 0; p < t.procsPerCmp; ++p) {
-            auto d = std::make_unique<DirL1>(_ctx, t.l1d(c, p),
-                                             *_dirGlobals, _cfg.l1Bytes,
-                                             _cfg.l1Assoc);
-            auto i = std::make_unique<DirL1>(_ctx, t.l1i(c, p),
-                                             *_dirGlobals, _cfg.l1Bytes,
-                                             _cfg.l1Assoc);
-            _net->registerController(d.get());
-            _net->registerController(i.get());
-            _dirL1s.push_back(d.get());
-            _dirL1s.push_back(i.get());
-            sequencer(t.procIdOf(t.l1d(c, p)))
-                .bind(d.get(), i.get());
-            _controllers.push_back(std::move(d));
-            _controllers.push_back(std::move(i));
-        }
-        for (unsigned b = 0; b < t.l2BanksPerCmp; ++b) {
-            auto l2 = std::make_unique<DirL2>(_ctx, t.l2(c, b),
-                                              *_dirGlobals,
-                                              _cfg.l2BankBytes,
-                                              _cfg.l2Assoc);
-            _net->registerController(l2.get());
-            _dirL2s.push_back(l2.get());
-            _controllers.push_back(std::move(l2));
-        }
-        auto mem =
-            std::make_unique<DirMem>(_ctx, t.mem(c), *_dirGlobals);
-        _net->registerController(mem.get());
-        _dirMems.push_back(mem.get());
-        _controllers.push_back(std::move(mem));
-    }
-}
-
-void
-System::buildPerfect()
-{
-    _perfectGlobals = std::make_unique<PerfectGlobals>();
-    _perfectGlobals->l1Latency = _cfg.token.l1Latency;
-    _perfectGlobals->l2Latency = _cfg.token.l2Latency;
-    _perfectGlobals->linkLatency = _cfg.net.intraLatency;
-    const Topology &t = _ctx.topo;
-
-    for (unsigned c = 0; c < t.numCmps; ++c) {
-        for (unsigned p = 0; p < t.procsPerCmp; ++p) {
-            auto d = std::make_unique<PerfectL1>(
-                _ctx, t.l1d(c, p), *_perfectGlobals, _cfg.l1Bytes,
-                _cfg.l1Assoc);
-            auto i = std::make_unique<PerfectL1>(
-                _ctx, t.l1i(c, p), *_perfectGlobals, _cfg.l1Bytes,
-                _cfg.l1Assoc);
-            sequencer(t.procIdOf(t.l1d(c, p)))
-                .bind(d.get(), i.get());
-            _perfectL1s.push_back(d.get());
-            _perfectL1s.push_back(i.get());
-            _controllers.push_back(std::move(d));
-            _controllers.push_back(std::move(i));
-        }
-    }
-}
-
-TokenL1 *
-System::tokenL1(unsigned cmp, unsigned proc, bool icache)
-{
-    const MachineID want =
-        icache ? _ctx.topo.l1i(cmp, proc) : _ctx.topo.l1d(cmp, proc);
-    for (TokenL1 *l1 : _tokenL1s) {
-        if (l1->id() == want)
-            return l1;
-    }
-    return nullptr;
-}
-
-TokenL2 *
-System::tokenL2(unsigned cmp, unsigned bank)
-{
-    for (TokenL2 *l2 : _tokenL2s) {
-        if (l2->id() == _ctx.topo.l2(cmp, bank))
-            return l2;
-    }
-    return nullptr;
-}
-
-TokenMem *
-System::tokenMem(unsigned cmp)
-{
-    for (TokenMem *m : _tokenMems) {
-        if (m->id() == _ctx.topo.mem(cmp))
-            return m;
-    }
-    return nullptr;
-}
-
-DirL1 *
-System::dirL1(unsigned cmp, unsigned proc, bool icache)
-{
-    const MachineID want =
-        icache ? _ctx.topo.l1i(cmp, proc) : _ctx.topo.l1d(cmp, proc);
-    for (DirL1 *l1 : _dirL1s) {
-        if (l1->id() == want)
-            return l1;
-    }
-    return nullptr;
-}
-
-DirL2 *
-System::dirL2(unsigned cmp, unsigned bank)
-{
-    for (DirL2 *l2 : _dirL2s) {
-        if (l2->id() == _ctx.topo.l2(cmp, bank))
-            return l2;
-    }
-    return nullptr;
-}
-
-DirMem *
-System::dirMem(unsigned cmp)
-{
-    for (DirMem *m : _dirMems) {
-        if (m->id() == _ctx.topo.mem(cmp))
-            return m;
-    }
-    return nullptr;
+    auto it = _byId.find(id);
+    return it == _byId.end() ? nullptr : it->second;
 }
 
 void
@@ -221,43 +62,7 @@ System::harvest(StatSet &out) const
     }
     out.add("net.messages", double(_net->totalMessages()));
 
-    std::uint64_t hits = 0, misses = 0;
-    for (const TokenL1 *l1 : _tokenL1s) {
-        hits += l1->stats.hits;
-        misses += l1->stats.misses;
-        out.add("token.transients", double(l1->stats.transientsIssued));
-        out.add("token.retries", double(l1->stats.retries));
-        out.add("token.persistents", double(l1->stats.persistents));
-        out.add("token.persistentReads",
-                double(l1->stats.persistentReads));
-        out.add("token.migratory", double(l1->stats.migratorySends));
-    }
-    for (const TokenL2 *l2 : _tokenL2s) {
-        out.add("token.escalations", double(l2->stats.escalations));
-        out.add("token.relays", double(l2->stats.relaysToL1));
-        out.add("token.filtered", double(l2->stats.filteredRelays));
-    }
-    for (const TokenMem *m : _tokenMems)
-        out.add("token.arbActivations", double(m->stats.arbActivations));
-    for (const DirL1 *l1 : _dirL1s) {
-        hits += l1->stats.hits;
-        misses += l1->stats.misses;
-        out.add("dir.migratory", double(l1->stats.migratorySends));
-    }
-    for (const DirL2 *l2 : _dirL2s) {
-        out.add("dir.deferrals", double(l2->stats.deferrals));
-        out.add("dir.migratoryChip", double(l2->stats.migratoryChip));
-    }
-    for (const DirMem *m : _dirMems) {
-        out.add("dir.forwards", double(m->stats.forwards));
-        out.add("dir.memResponses", double(m->stats.memResponses));
-    }
-    for (const PerfectL1 *l1 : _perfectL1s) {
-        hits += l1->stats.hits;
-        misses += l1->stats.misses;
-    }
-    out.add("l1.hits", double(hits));
-    out.add("l1.misses", double(misses));
+    _proto->harvest(out);
 }
 
 System::RunResult
@@ -294,45 +99,13 @@ System::run(Workload &workload, Tick horizon)
 
     // Drain in-flight protocol traffic, then verify quiescence.
     _ctx.eventq.run(_ctx.eventq.curTick() + ns(1000000));
-    if (_tokenGlobals != nullptr && res.completed)
-        _tokenGlobals->auditor.checkAll(true);
+    if (res.completed)
+        _proto->verifyQuiescent(true);
 
     res.violations = workload.violations();
     harvest(res.stats);
-    if (_tokenGlobals != nullptr) {
-        res.stats.set("token.persistentIssued",
-                      double(_tokenGlobals->persistentIssued));
-    }
+    _proto->exportRunStats(res.stats);
     return res;
-}
-
-Experiment
-runSeeds(SystemConfig cfg,
-         const std::function<std::unique_ptr<Workload>()>
-             &workload_factory,
-         unsigned seeds, Tick horizon)
-{
-    Experiment exp;
-    for (unsigned s = 0; s < seeds; ++s) {
-        cfg.seed = s + 1;
-        System sys(cfg);
-        auto wl = workload_factory();
-        wl->reset();
-        const System::RunResult r = sys.run(*wl, horizon);
-        if (!r.completed) {
-            exp.allCompleted = false;
-            warn("%s: seed %u did not complete within horizon",
-                 protocolName(cfg.protocol), s + 1);
-            continue;
-        }
-        exp.runtime.add(double(r.runtime));
-        exp.interBytes.add(r.stats.get("traffic.inter.total"));
-        exp.intraBytes.add(r.stats.get("traffic.intra.total"));
-        exp.violations += r.violations;
-        for (const auto &[k, v] : r.stats.all())
-            exp.stats[k].add(v);
-    }
-    return exp;
 }
 
 } // namespace tokencmp

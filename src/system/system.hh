@@ -1,15 +1,27 @@
 /**
  * @file
  * System builder: constructs the full M-CMP target (processors,
- * caches, interconnects, protocol controllers) for any of the nine
- * protocol configurations and runs workloads on it.
+ * caches, interconnects, protocol controllers) for any registered
+ * protocol configuration and runs workloads on it.
+ *
+ * Protocol construction is pluggable: `System` asks the
+ * `ProtocolRegistry` for the `ProtocolBuilder` registered for
+ * `cfg.protocol` and hands it the builder-facing API (`adopt()`,
+ * `sequencer()`, `context()`); it never names a concrete controller
+ * type. White-box access for tests goes through the typed lookup
+ * `system.controller<TokenL1>(cmp, proc)` which resolves the
+ * controller's `MachineID` from the topology and down-casts, returning
+ * nullptr when the running protocol family doesn't provide that type.
+ *
+ * Multi-seed experiments are driven by `ExperimentRunner` in
+ * system/experiment.hh; a System itself is single-use.
  */
 
 #ifndef TOKENCMP_SYSTEM_SYSTEM_HH
 #define TOKENCMP_SYSTEM_SYSTEM_HH
 
-#include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/token_l1.hh"
@@ -21,9 +33,60 @@
 #include "directory/perfect_l2.hh"
 #include "sim/stats.hh"
 #include "system/config.hh"
+#include "system/protocol_registry.hh"
 #include "workload/workload.hh"
 
 namespace tokencmp {
+
+namespace detail {
+
+/**
+ * Maps a controller type to the MachineID it occupies in the topology;
+ * specialize this to make a new controller type reachable through
+ * `System::controller<C>()`.
+ */
+template <typename C>
+struct ControllerKey;
+
+template <typename C>
+struct L1Key
+{
+    static MachineID
+    id(const Topology &t, unsigned cmp, unsigned idx, bool icache)
+    {
+        return icache ? t.l1i(cmp, idx) : t.l1d(cmp, idx);
+    }
+};
+
+template <typename C>
+struct L2Key
+{
+    static MachineID
+    id(const Topology &t, unsigned cmp, unsigned idx, bool)
+    {
+        return t.l2(cmp, idx);
+    }
+};
+
+template <typename C>
+struct MemKey
+{
+    static MachineID
+    id(const Topology &t, unsigned cmp, unsigned, bool)
+    {
+        return t.mem(cmp);
+    }
+};
+
+template <> struct ControllerKey<TokenL1> : L1Key<TokenL1> {};
+template <> struct ControllerKey<DirL1> : L1Key<DirL1> {};
+template <> struct ControllerKey<PerfectL1> : L1Key<PerfectL1> {};
+template <> struct ControllerKey<TokenL2> : L2Key<TokenL2> {};
+template <> struct ControllerKey<DirL2> : L2Key<DirL2> {};
+template <> struct ControllerKey<TokenMem> : MemKey<TokenMem> {};
+template <> struct ControllerKey<DirMem> : MemKey<DirMem> {};
+
+} // namespace detail
 
 /** One fully built target machine. */
 class System
@@ -55,61 +118,44 @@ class System
     const SystemConfig &config() const { return _cfg; }
     Sequencer &sequencer(unsigned proc) { return *_sequencers.at(proc); }
 
-    TokenGlobals *tokenGlobals() { return _tokenGlobals.get(); }
+    TokenGlobals *tokenGlobals() { return _proto->tokenGlobals(); }
 
-    /** Controller access for white-box tests. */
-    TokenL1 *tokenL1(unsigned cmp, unsigned proc, bool icache = false);
-    TokenL2 *tokenL2(unsigned cmp, unsigned bank);
-    TokenMem *tokenMem(unsigned cmp);
-    DirL1 *dirL1(unsigned cmp, unsigned proc, bool icache = false);
-    DirL2 *dirL2(unsigned cmp, unsigned bank);
-    DirMem *dirMem(unsigned cmp);
+    /**
+     * Typed controller lookup: the controller of type `C` at the
+     * topological position (cmp, idx), or nullptr if the running
+     * protocol family doesn't provide one there.
+     */
+    template <typename C>
+    C *
+    controller(unsigned cmp, unsigned idx = 0, bool icache = false)
+    {
+        return dynamic_cast<C *>(controllerAt(
+            detail::ControllerKey<C>::id(_ctx.topo, cmp, idx, icache)));
+    }
+
+    /** Untyped lookup by machine identity (nullptr if absent). */
+    Controller *controllerAt(MachineID id) const;
+
+    // -- Builder-facing API (used by ProtocolBuilder::build) ---------
+
+    /**
+     * Take ownership of a controller, index it for `controller<C>()`
+     * lookup, and (when `on_network`) attach it to the interconnect.
+     */
+    void adopt(std::unique_ptr<Controller> c, bool on_network = true);
 
   private:
-    void buildToken();
-    void buildDirectory();
-    void buildPerfect();
     void harvest(StatSet &out) const;
 
     SystemConfig _cfg;
     SimContext _ctx;
     std::unique_ptr<Network> _net;
-
-    std::unique_ptr<TokenGlobals> _tokenGlobals;
-    std::unique_ptr<DirGlobals> _dirGlobals;
-    std::unique_ptr<PerfectGlobals> _perfectGlobals;
+    std::unique_ptr<ProtocolBuilder> _proto;
 
     std::vector<std::unique_ptr<Controller>> _controllers;
     std::vector<std::unique_ptr<Sequencer>> _sequencers;
-
-    std::vector<TokenL1 *> _tokenL1s;
-    std::vector<TokenL2 *> _tokenL2s;
-    std::vector<TokenMem *> _tokenMems;
-    std::vector<DirL1 *> _dirL1s;
-    std::vector<DirL2 *> _dirL2s;
-    std::vector<DirMem *> _dirMems;
-    std::vector<PerfectL1 *> _perfectL1s;
+    std::unordered_map<MachineID, Controller *> _byId;
 };
-
-/** Aggregated multi-seed experiment results (mean +/- 95% CI). */
-struct Experiment
-{
-    SeedSamples runtime;
-    SeedSamples interBytes;
-    SeedSamples intraBytes;
-    std::uint64_t violations = 0;
-    std::map<std::string, SeedSamples> stats;
-    bool allCompleted = true;
-};
-
-/**
- * Run `seeds` independent, perturbed simulations of a workload
- * (Alameldeen & Wood methodology) on fresh systems.
- */
-Experiment runSeeds(SystemConfig cfg,
-                    const std::function<std::unique_ptr<Workload>()>
-                        &workload_factory,
-                    unsigned seeds, Tick horizon = ns(500000000));
 
 } // namespace tokencmp
 

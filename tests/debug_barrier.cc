@@ -27,8 +27,8 @@ main(int argc, char **argv)
     if (!res.completed) {
         for (unsigned c = 0; c < 4; ++c) {
             for (unsigned b = 0; b < 4; ++b)
-                sys.dirL2(c, b)->debugDump();
-            sys.dirMem(c)->debugDump();
+                sys.controller<DirL2>(c, b)->debugDump();
+            sys.controller<DirMem>(c)->debugDump();
         }
         // Which threads are stuck? Check per-sequencer op counts.
         for (unsigned pr = 0; pr < 16; ++pr) {

@@ -28,7 +28,7 @@ TEST(DirScenario, HomeDirectoryTracksOwnership)
 {
     System sys(dirCfg());
     const Addr a = 4 * blockBytes;  // homed at CMP 1
-    auto *home = sys.dirMem(1);
+    auto *home = sys.controller<DirMem>(1);
     EXPECT_EQ(home->peekState(a), DirState::Uncached);
 
     runStore(sys, 0, a, 1);
@@ -54,7 +54,7 @@ TEST(DirScenario, SharedStateAfterCleanReads)
     drain(sys);
     runLoad(sys, 8, a);
     drain(sys);
-    const DirState st = sys.dirMem(1)->peekState(a);
+    const DirState st = sys.controller<DirMem>(1)->peekState(a);
     EXPECT_TRUE(st == DirState::Shared || st == DirState::Owned);
 }
 
@@ -65,13 +65,13 @@ TEST(DirScenario, ChipStateFollowsGrants)
     const unsigned bank = sys.context().topo.l2BankOf(a);
     runStore(sys, 0, a, 3);
     drain(sys);
-    EXPECT_EQ(sys.dirL2(0, bank)->peekChip(a), ChipState::M);
-    EXPECT_EQ(sys.dirL2(1, bank)->peekChip(a), ChipState::I);
+    EXPECT_EQ(sys.controller<DirL2>(0, bank)->peekChip(a), ChipState::M);
+    EXPECT_EQ(sys.controller<DirL2>(1, bank)->peekChip(a), ChipState::I);
 
     runStore(sys, 4, a, 4);
     drain(sys);
-    EXPECT_EQ(sys.dirL2(1, bank)->peekChip(a), ChipState::M);
-    EXPECT_EQ(sys.dirL2(0, bank)->peekChip(a), ChipState::I);
+    EXPECT_EQ(sys.controller<DirL2>(1, bank)->peekChip(a), ChipState::M);
+    EXPECT_EQ(sys.controller<DirL2>(0, bank)->peekChip(a), ChipState::I);
 }
 
 TEST(DirScenario, LocalL1ToL1TransferRoutesThroughL2)
@@ -152,7 +152,7 @@ TEST(DirScenario, DeferredRequestsDrainInOrder)
     std::uint64_t deferrals = 0;
     for (unsigned c = 0; c < 4; ++c) {
         for (unsigned b = 0; b < 4; ++b)
-            deferrals += sys.dirL2(c, b)->stats.deferrals;
+            deferrals += sys.controller<DirL2>(c, b)->stats.deferrals;
     }
     // Deferral machinery exercised (exact counts are timing-dependent).
     EXPECT_GE(deferrals, 0u);

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the pluggable protocol registry and the parallel
+ * ExperimentRunner: registry coverage of all nine Protocol values,
+ * typed controller lookup equivalence with the old white-box
+ * accessors, bit-identical parallel vs serial execution, progress
+ * callbacks, the deprecated runSeeds shim, and JSON export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "test_util.hh"
+#include "workload/locking.hh"
+
+namespace tokencmp::test {
+
+namespace {
+
+WorkloadFactory
+smallLockingFactory()
+{
+    return []() -> std::unique_ptr<Workload> {
+        LockingParams p;
+        p.numLocks = 8;
+        p.acquiresPerProc = 4;
+        return std::make_unique<LockingWorkload>(p);
+    };
+}
+
+} // namespace
+
+TEST(ProtocolRegistry, CoversAllNineProtocols)
+{
+    const ProtocolRegistry &reg = ProtocolRegistry::instance();
+    for (Protocol p : allProtocols())
+        EXPECT_TRUE(reg.known(p)) << protocolName(p);
+    EXPECT_EQ(reg.registered().size(), allProtocols().size());
+}
+
+TEST(ProtocolRegistry, TypedLookupMatchesOldAccessors)
+{
+    // The registry-built System must expose exactly the controllers
+    // the old buildToken/buildDirectory/buildPerfect switches and
+    // white-box accessors did, at the same topological positions.
+    for (Protocol p : allProtocols()) {
+        SystemConfig cfg;
+        cfg.protocol = p;
+        System sys(cfg);
+        const Topology &t = sys.context().topo;
+        SCOPED_TRACE(protocolName(p));
+
+        const bool token = isToken(p);
+        const bool dir = p == Protocol::DirectoryCMP ||
+                         p == Protocol::DirectoryCMPZero;
+        const bool perfect = p == Protocol::PerfectL2;
+
+        for (unsigned c = 0; c < t.numCmps; ++c) {
+            for (unsigned pr = 0; pr < t.procsPerCmp; ++pr) {
+                TokenL1 *tl1 = sys.controller<TokenL1>(c, pr);
+                DirL1 *dl1 = sys.controller<DirL1>(c, pr);
+                PerfectL1 *pl1 = sys.controller<PerfectL1>(c, pr);
+                EXPECT_EQ(tl1 != nullptr, token);
+                EXPECT_EQ(dl1 != nullptr, dir);
+                EXPECT_EQ(pl1 != nullptr, perfect);
+                // Exactly one family serves each position.
+                Controller *any = sys.controllerAt(t.l1d(c, pr));
+                ASSERT_NE(any, nullptr);
+                EXPECT_TRUE(any->id() == t.l1d(c, pr));
+                // The icache twin is distinct.
+                Controller *ic = sys.controllerAt(t.l1i(c, pr));
+                ASSERT_NE(ic, nullptr);
+                EXPECT_NE(any, ic);
+                if (token) {
+                    EXPECT_EQ(static_cast<Controller *>(tl1), any);
+                    EXPECT_EQ(sys.controller<TokenL1>(c, pr, true),
+                              static_cast<Controller *>(ic));
+                }
+            }
+            for (unsigned b = 0; b < t.l2BanksPerCmp; ++b) {
+                EXPECT_EQ(sys.controller<TokenL2>(c, b) != nullptr,
+                          token);
+                EXPECT_EQ(sys.controller<DirL2>(c, b) != nullptr, dir);
+            }
+            EXPECT_EQ(sys.controller<TokenMem>(c) != nullptr, token);
+            EXPECT_EQ(sys.controller<DirMem>(c) != nullptr, dir);
+            // PerfectL2 builds no L2/Mem controllers at all.
+            if (perfect) {
+                EXPECT_EQ(sys.controllerAt(t.l2(c, 0)), nullptr);
+                EXPECT_EQ(sys.controllerAt(t.mem(c)), nullptr);
+            }
+        }
+    }
+}
+
+TEST(ExperimentRunner, ParallelBitIdenticalToSerial)
+{
+    SystemConfig cfg;
+    cfg.protocol = Protocol::TokenDst1;
+    const unsigned kSeeds = 6;
+
+    auto serial = Experiment::of(cfg)
+                      .workload(smallLockingFactory())
+                      .seeds(kSeeds)
+                      .parallelism(1)
+                      .run();
+    auto parallel = Experiment::of(cfg)
+                        .workload(smallLockingFactory())
+                        .seeds(kSeeds)
+                        .parallelism(4)
+                        .run();
+
+    ASSERT_TRUE(serial.allCompleted);
+    ASSERT_TRUE(parallel.allCompleted);
+    ASSERT_EQ(serial.perSeed.size(), kSeeds);
+    ASSERT_EQ(parallel.perSeed.size(), kSeeds);
+
+    for (unsigned i = 0; i < kSeeds; ++i) {
+        const auto &a = serial.perSeed[i];
+        const auto &b = parallel.perSeed[i];
+        EXPECT_EQ(a.runtime, b.runtime) << "seed " << i + 1;
+        EXPECT_EQ(a.violations, b.violations) << "seed " << i + 1;
+        // Full per-seed stat maps must match bit for bit.
+        ASSERT_EQ(a.stats.all().size(), b.stats.all().size());
+        for (const auto &[k, v] : a.stats.all())
+            EXPECT_EQ(v, b.stats.get(k)) << "seed " << i + 1 << " "
+                                         << k;
+    }
+    EXPECT_EQ(serial.runtime.mean(), parallel.runtime.mean());
+    EXPECT_EQ(serial.runtime.errorBar(), parallel.runtime.errorBar());
+    EXPECT_EQ(serial.interBytes.samples(),
+              parallel.interBytes.samples());
+    EXPECT_EQ(serial.intraBytes.samples(),
+              parallel.intraBytes.samples());
+}
+
+TEST(ExperimentRunner, ProgressCallbackFiresOncePerSeed)
+{
+    SystemConfig cfg;
+    cfg.protocol = Protocol::TokenDst1;
+    std::set<std::uint64_t> seen;
+    unsigned calls = 0, max_done = 0;
+    auto e = Experiment::of(cfg)
+                 .workload(smallLockingFactory())
+                 .seeds(5)
+                 .parallelism(3)
+                 .onSeedDone([&](const SeedProgress &p) {
+                     // Serialized by the runner's mutex.
+                     ++calls;
+                     seen.insert(p.seedValue);
+                     max_done = std::max(max_done, p.seedsDone);
+                     EXPECT_EQ(p.seedsTotal, 5u);
+                     EXPECT_TRUE(p.completed);
+                 })
+                 .run();
+    ASSERT_TRUE(e.allCompleted);
+    EXPECT_EQ(calls, 5u);
+    EXPECT_EQ(seen.size(), 5u);
+    EXPECT_EQ(max_done, 5u);
+    EXPECT_EQ(*seen.begin(), 1u);
+    EXPECT_EQ(*seen.rbegin(), 5u);
+}
+
+TEST(ExperimentRunner, FirstSeedOffsetsSeedValues)
+{
+    SystemConfig cfg;
+    cfg.protocol = Protocol::DirectoryCMP;
+    std::set<std::uint64_t> seen;
+    auto e = Experiment::of(cfg)
+                 .workload(smallLockingFactory())
+                 .seeds(2)
+                 .firstSeed(7)
+                 .onSeedDone([&](const SeedProgress &p) {
+                     seen.insert(p.seedValue);
+                 })
+                 .run();
+    ASSERT_TRUE(e.allCompleted);
+    EXPECT_EQ(seen, (std::set<std::uint64_t>{7, 8}));
+}
+
+TEST(ExperimentRunner, DeprecatedRunSeedsShimMatchesRunner)
+{
+    SystemConfig cfg;
+    cfg.protocol = Protocol::TokenDst1;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    auto shim = runSeeds(cfg, smallLockingFactory(), 3);
+#pragma GCC diagnostic pop
+    auto runner = Experiment::of(cfg)
+                      .workload(smallLockingFactory())
+                      .seeds(3)
+                      .run();
+    ASSERT_TRUE(shim.allCompleted);
+    EXPECT_EQ(shim.runtime.samples(), runner.runtime.samples());
+}
+
+TEST(ExperimentResult, JsonExportIsWellFormed)
+{
+    SystemConfig cfg;
+    cfg.protocol = Protocol::TokenDst1;
+    auto e = Experiment::of(cfg)
+                 .workload(smallLockingFactory())
+                 .seeds(2)
+                 .run();
+    const std::string json = e.toJson("cell-label");
+    EXPECT_NE(json.find("\"label\": \"cell-label\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"protocol\": \"TokenCMP-dst1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"workload\": \"locking\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"seeds\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"seedsCompleted\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"runtime\": {\"mean\": "),
+              std::string::npos);
+    EXPECT_NE(json.find("\"l1.misses\""), std::string::npos);
+    // Balanced braces and brackets (no nested strings contain any).
+    long depth = 0;
+    for (char c : json) {
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(ExperimentRunner, IncompleteSeedsAreReported)
+{
+    SystemConfig cfg;
+    cfg.protocol = Protocol::TokenDst1;
+    // A horizon far too short for the workload to finish.
+    auto e = Experiment::of(cfg)
+                 .workload(smallLockingFactory())
+                 .seeds(2)
+                 .horizon(ns(10))
+                 .run();
+    EXPECT_FALSE(e.allCompleted);
+    EXPECT_EQ(e.perSeed.size(), 0u);
+    EXPECT_EQ(e.runtime.count(), 0u);
+    // The export still records how many seeds were attempted.
+    EXPECT_EQ(e.seedsRequested, 2u);
+    EXPECT_NE(e.toJson().find("\"seeds\": 2"), std::string::npos);
+    EXPECT_NE(e.toJson().find("\"seedsCompleted\": 0"),
+              std::string::npos);
+}
+
+} // namespace tokencmp::test

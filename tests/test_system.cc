@@ -45,6 +45,39 @@ TEST(SystemConfig, FinalizeAppliesTable1Policies)
     EXPECT_EQ(cfg.dir.dirLatency, ns(80));
 }
 
+TEST(SystemConfig, FinalizeIsIdempotent)
+{
+    // finalize(), hand-tune a knob, then finalize() again (as
+    // System's constructor does defensively): the preset must not be
+    // re-applied over the tuning.
+    SystemConfig cfg;
+    cfg.protocol = Protocol::TokenDst1;
+    cfg.finalize();
+    EXPECT_TRUE(cfg.finalized());
+    cfg.token.policy.maxTransients = 3;
+    cfg.finalize();
+    EXPECT_EQ(cfg.token.policy.maxTransients, 3u);
+
+    // Changing the protocol re-arms finalization.
+    cfg.protocol = Protocol::TokenDst4;
+    EXPECT_FALSE(cfg.finalized());
+    cfg.finalize();
+    EXPECT_EQ(cfg.token.policy.maxTransients, 4u);
+}
+
+TEST(SystemConfig, FinalizeIdempotentWithCustomPolicy)
+{
+    SystemConfig cfg;
+    cfg.protocol = Protocol::TokenDst1;
+    cfg.customPolicy = true;
+    cfg.token.policy = token_variants::dst1();
+    cfg.token.policy.maxTransients = 2;
+    cfg.finalize();
+    EXPECT_EQ(cfg.token.policy.maxTransients, 2u);
+    cfg.finalize();  // System's defensive call must not double-apply
+    EXPECT_EQ(cfg.token.policy.maxTransients, 2u);
+}
+
 TEST(SystemConfig, ProtocolNamesMatchPaper)
 {
     EXPECT_STREQ(protocolName(Protocol::TokenDst1), "TokenCMP-dst1");
@@ -75,19 +108,19 @@ TEST(System, ControllerAccessorsMatchProtocol)
     SystemConfig tok;
     tok.protocol = Protocol::TokenDst1;
     System ts(tok);
-    EXPECT_NE(ts.tokenL1(0, 0), nullptr);
-    EXPECT_NE(ts.tokenL1(3, 3, true), nullptr);
-    EXPECT_NE(ts.tokenL2(2, 1), nullptr);
-    EXPECT_NE(ts.tokenMem(1), nullptr);
-    EXPECT_EQ(ts.dirL1(0, 0), nullptr);
+    EXPECT_NE(ts.controller<TokenL1>(0, 0), nullptr);
+    EXPECT_NE(ts.controller<TokenL1>(3, 3, true), nullptr);
+    EXPECT_NE(ts.controller<TokenL2>(2, 1), nullptr);
+    EXPECT_NE(ts.controller<TokenMem>(1), nullptr);
+    EXPECT_EQ(ts.controller<DirL1>(0, 0), nullptr);
 
     SystemConfig dir;
     dir.protocol = Protocol::DirectoryCMP;
     System ds(dir);
-    EXPECT_NE(ds.dirL1(0, 0), nullptr);
-    EXPECT_NE(ds.dirL2(1, 2), nullptr);
-    EXPECT_NE(ds.dirMem(3), nullptr);
-    EXPECT_EQ(ds.tokenL1(0, 0), nullptr);
+    EXPECT_NE(ds.controller<DirL1>(0, 0), nullptr);
+    EXPECT_NE(ds.controller<DirL2>(1, 2), nullptr);
+    EXPECT_NE(ds.controller<DirMem>(3), nullptr);
+    EXPECT_EQ(ds.controller<TokenL1>(0, 0), nullptr);
 }
 
 TEST(System, HarvestedStatsArePopulated)
@@ -129,21 +162,28 @@ TEST(System, SeedsPerturbButReproduce)
     EXPECT_NE(a1, b) << "different seeds must perturb";
 }
 
-TEST(System, RunSeedsComputesErrorBars)
+TEST(System, ExperimentComputesErrorBars)
 {
     SystemConfig cfg;
     cfg.protocol = Protocol::DirectoryCMP;
     LockingParams p;
     p.numLocks = 16;
     p.acquiresPerProc = 5;
-    Experiment e = runSeeds(
-        cfg, [&]() { return std::make_unique<LockingWorkload>(p); },
-        4);
+    ExperimentResult e =
+        Experiment::of(cfg)
+            .workload([&]() -> std::unique_ptr<Workload> {
+                return std::make_unique<LockingWorkload>(p);
+            })
+            .seeds(4)
+            .run();
     ASSERT_TRUE(e.allCompleted);
     EXPECT_EQ(e.runtime.count(), 4u);
     EXPECT_GT(e.runtime.mean(), 0.0);
     EXPECT_GT(e.runtime.errorBar(), 0.0);
     EXPECT_GT(e.interBytes.mean(), 0.0);
+    EXPECT_EQ(e.perSeed.size(), 4u);
+    EXPECT_EQ(e.protocol, "DirectoryCMP");
+    EXPECT_EQ(e.workload, "locking");
 }
 
 TEST(System, MeasureStartExcludesWarmup)

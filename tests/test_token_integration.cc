@@ -63,12 +63,12 @@ TEST(TokenIntegration, MigratoryReadTransfersAllTokens)
     // A remote read of a locally-modified block migrates everything.
     EXPECT_EQ(runLoad(sys, 4, 0x4000), 5u);
     drain(sys);
-    const TokenSt *line = sys.tokenL1(1, 0)->peek(0x4000);
+    const TokenSt *line = sys.controller<TokenL1>(1, 0)->peek(0x4000);
     ASSERT_NE(line, nullptr);
     EXPECT_EQ(line->tokens, sys.config().token.totalTokens);
     EXPECT_TRUE(line->owner);
     // The writer's copy is gone.
-    const TokenSt *old = sys.tokenL1(0, 0)->peek(0x4000);
+    const TokenSt *old = sys.controller<TokenL1>(0, 0)->peek(0x4000);
     EXPECT_TRUE(old == nullptr || old->tokens == 0);
 }
 
@@ -79,13 +79,13 @@ TEST(TokenIntegration, ReadSharingGivesSingleTokens)
     // the token analogue of MOESI E.
     EXPECT_EQ(runLoad(sys, 0, 0x5000), 0u);
     drain(sys);
-    const TokenSt *l0 = sys.tokenL1(0, 0)->peek(0x5000);
+    const TokenSt *l0 = sys.controller<TokenL1>(0, 0)->peek(0x5000);
     ASSERT_NE(l0, nullptr);
     EXPECT_EQ(l0->tokens, sys.config().token.totalTokens);
     // A local peer read takes one token from proc 0's cache.
     EXPECT_EQ(runLoad(sys, 1, 0x5000), 0u);
     drain(sys);
-    const TokenSt *l1 = sys.tokenL1(0, 1)->peek(0x5000);
+    const TokenSt *l1 = sys.controller<TokenL1>(0, 1)->peek(0x5000);
     ASSERT_NE(l1, nullptr);
     EXPECT_GE(l1->tokens, 1);
     // Both remain readable: multiple readers coexist.
@@ -104,7 +104,7 @@ TEST(TokenIntegration, WriteInvalidatesAllReaders)
     drain(sys);
     runStore(sys, 5, 0x6000, 99);
     drain(sys);
-    const TokenSt *w = sys.tokenL1(1, 1)->peek(0x6000);
+    const TokenSt *w = sys.controller<TokenL1>(1, 1)->peek(0x6000);
     ASSERT_NE(w, nullptr);
     EXPECT_EQ(w->tokens, sys.config().token.totalTokens);
     EXPECT_EQ(runLoad(sys, 0, 0x6000), 99u);
@@ -214,7 +214,7 @@ TEST(TokenIntegration, IfetchSharesThroughL1I)
                             [&](const MemResult &) { done = true; });
     sys.context().eventq.runUntil([&]() { return done; });
     EXPECT_TRUE(done);
-    const TokenSt *line = sys.tokenL1(0, 0, true)->peek(0xc000);
+    const TokenSt *line = sys.controller<TokenL1>(0, 0, true)->peek(0xc000);
     ASSERT_NE(line, nullptr);
     EXPECT_GE(line->tokens, 1);
 }

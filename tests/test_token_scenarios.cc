@@ -31,7 +31,7 @@ TEST(TokenScenario, UncachedReadGetsExclusiveGrant)
     System sys(tokenCfg());
     EXPECT_EQ(runLoad(sys, 0, 0x1000), 0u);
     drain(sys);
-    const TokenSt *line = sys.tokenL1(0, 0)->peek(0x1000);
+    const TokenSt *line = sys.controller<TokenL1>(0, 0)->peek(0x1000);
     ASSERT_NE(line, nullptr);
     EXPECT_EQ(line->tokens, sys.config().token.totalTokens);
     EXPECT_TRUE(line->owner);
@@ -53,11 +53,11 @@ TEST(TokenScenario, SharedReadSeedsL2WithSurplus)
     EXPECT_EQ(runLoad(sys, 8, 0x2000), 1u);
     drain(sys);
     // Proc 8's L1 kept one token; the surplus seeded its L2 bank.
-    const TokenSt *l1 = sys.tokenL1(2, 0)->peek(0x2000);
+    const TokenSt *l1 = sys.controller<TokenL1>(2, 0)->peek(0x2000);
     ASSERT_NE(l1, nullptr);
     EXPECT_EQ(l1->tokens, 1);
     const TokenSt *l2 =
-        sys.tokenL2(2, sys.context().topo.l2BankOf(0x2000))
+        sys.controller<TokenL2>(2, sys.context().topo.l2BankOf(0x2000))
             ->peek(0x2000);
     ASSERT_NE(l2, nullptr);
     EXPECT_GT(l2->tokens, 0);
@@ -120,7 +120,7 @@ TEST(TokenScenario, FilterVariantStillServesExternalRequests)
     // Remote read must find the block despite the filter.
     EXPECT_EQ(runLoad(sys, 13, 0x5000), 9u);
     drain(sys);
-    auto *l2 = sys.tokenL2(0, sys.context().topo.l2BankOf(0x5000));
+    auto *l2 = sys.controller<TokenL2>(0, sys.context().topo.l2BankOf(0x5000));
     EXPECT_GT(l2->stats.filteredRelays + l2->stats.relaysToL1, 0u);
     sys.tokenGlobals()->auditor.checkAll(true);
 }
@@ -139,7 +139,7 @@ TEST(TokenScenario, PredictorVariantShortcutsHotBlocks)
     for (unsigned c = 0; c < 4; ++c) {
         for (unsigned p = 0; p < 4; ++p)
             predicted +=
-                sys.tokenL1(c, p)->stats.predictedPersistents;
+                sys.controller<TokenL1>(c, p)->stats.predictedPersistents;
     }
     EXPECT_GE(predicted, 0u);  // presence exercised; count may be 0
 }

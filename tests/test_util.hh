@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 
+#include "system/experiment.hh"
 #include "system/system.hh"
 #include "workload/workload.hh"
 

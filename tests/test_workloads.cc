@@ -125,8 +125,13 @@ TEST(WorkloadChecks, SeedsPerturbRuntimes)
     LockingParams p;
     p.numLocks = 8;
     p.acquiresPerProc = 6;
-    Experiment e = runSeeds(
-        c, [&]() { return std::make_unique<LockingWorkload>(p); }, 3);
+    ExperimentResult e =
+        Experiment::of(c)
+            .workload([&]() -> std::unique_ptr<Workload> {
+                return std::make_unique<LockingWorkload>(p);
+            })
+            .seeds(3)
+            .run();
     ASSERT_TRUE(e.allCompleted);
     EXPECT_EQ(e.violations, 0u);
     EXPECT_EQ(e.runtime.count(), 3u);
