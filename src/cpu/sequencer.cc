@@ -1,11 +1,13 @@
 #include "cpu/sequencer.hh"
 
+#include <utility>
+
 #include "sim/logging.hh"
 
 namespace tokencmp {
 
 void
-Sequencer::issue(MemRequest req, bool to_icache)
+Sequencer::issue(MemRequest req, bool to_icache, MemCallback cb)
 {
     if (_busy)
         panic("sequencer %u: issuing while an op is outstanding",
@@ -18,59 +20,62 @@ Sequencer::issue(MemRequest req, bool to_icache)
     req.addr = blockAlign(req.addr);
     req.issued = _ctx.now();
 
-    auto user_cb = std::move(req.callback);
-    req.callback = [this, user_cb](const MemResult &res) {
-        _busy = false;
-        ++_opsCompleted;
-        _latency.add(static_cast<double>(res.latency));
-        user_cb(res);
-    };
+    // Park the user's continuation in the per-sequencer slot; the L1
+    // only carries a pointer-sized thunk back here, so copying the
+    // request into protocol transaction state stays cheap.
+    _userCb = std::move(cb);
+    req.callback = [this](const MemResult &res) { complete(res); };
     target->cpuRequest(req);
 }
 
 void
-Sequencer::load(Addr a, std::function<void(const MemResult &)> cb)
+Sequencer::complete(const MemResult &res)
+{
+    _busy = false;
+    ++_opsCompleted;
+    _latency.add(static_cast<double>(res.latency));
+    // Move to a local first: the continuation may issue the next
+    // operation, which re-occupies the slot.
+    MemCallback cb = std::move(_userCb);
+    cb(res);
+}
+
+void
+Sequencer::load(Addr a, MemCallback cb)
 {
     MemRequest r;
     r.addr = a;
     r.op = MemOp::Load;
-    r.callback = std::move(cb);
-    issue(std::move(r), false);
+    issue(std::move(r), false, std::move(cb));
 }
 
 void
-Sequencer::store(Addr a, std::uint64_t v,
-                 std::function<void(const MemResult &)> cb)
+Sequencer::store(Addr a, std::uint64_t v, MemCallback cb)
 {
     MemRequest r;
     r.addr = a;
     r.op = MemOp::Store;
     r.operand = v;
-    r.callback = std::move(cb);
-    issue(std::move(r), false);
+    issue(std::move(r), false, std::move(cb));
 }
 
 void
-Sequencer::atomic(Addr a,
-                  std::function<std::uint64_t(std::uint64_t)> rmw,
-                  std::function<void(const MemResult &)> cb)
+Sequencer::atomic(Addr a, MemRmwFn rmw, MemCallback cb)
 {
     MemRequest r;
     r.addr = a;
     r.op = MemOp::Atomic;
     r.rmw = std::move(rmw);
-    r.callback = std::move(cb);
-    issue(std::move(r), false);
+    issue(std::move(r), false, std::move(cb));
 }
 
 void
-Sequencer::ifetch(Addr a, std::function<void(const MemResult &)> cb)
+Sequencer::ifetch(Addr a, MemCallback cb)
 {
     MemRequest r;
     r.addr = a;
     r.op = MemOp::Ifetch;
-    r.callback = std::move(cb);
-    issue(std::move(r), true);
+    issue(std::move(r), true, std::move(cb));
 }
 
 } // namespace tokencmp

@@ -7,6 +7,13 @@
  * instruction fetches to the processor's L1 caches and invokes a
  * completion callback when the protocol finishes the operation.
  *
+ * The callback plumbing is allocation-free in steady state: callbacks
+ * are SmallFunctions (inline small-buffer storage), the user's
+ * continuation parks in a fixed per-sequencer slot while the one
+ * outstanding operation is in flight, and the MemRequest the L1 sees
+ * carries only a trivially-small completion thunk back to the
+ * sequencer.
+ *
  * Substitution note (see DESIGN.md §4): the paper drives its protocols
  * from 4-wide out-of-order SPARC cores under Simics. Here each
  * processor issues one demand operation at a time with explicit think
@@ -18,9 +25,9 @@
 #define TOKENCMP_CPU_SEQUENCER_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "net/controller.hh"
+#include "sim/small_function.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -41,6 +48,12 @@ struct MemResult
     Tick latency = 0;         //!< issue-to-completion time
 };
 
+/** Completion continuation; 48 inline bytes covers workload lambdas. */
+using MemCallback = SmallFunction<void(const MemResult &), 48>;
+
+/** Atomic read-modify-write functor; typically a captureless lambda. */
+using MemRmwFn = SmallFunction<std::uint64_t(std::uint64_t), 24>;
+
 /** One in-flight memory operation. */
 struct MemRequest
 {
@@ -48,8 +61,8 @@ struct MemRequest
     MemOp op = MemOp::Load;
     std::uint64_t operand = 0;  //!< store value
     /** For MemOp::Atomic: next_value = rmw(current_value). */
-    std::function<std::uint64_t(std::uint64_t)> rmw;
-    std::function<void(const MemResult &)> callback;
+    MemRmwFn rmw;
+    MemCallback callback;
     Tick issued = 0;
 };
 
@@ -86,12 +99,10 @@ class Sequencer
 
     unsigned procId() const { return _procId; }
 
-    void load(Addr a, std::function<void(const MemResult &)> cb);
-    void store(Addr a, std::uint64_t v,
-               std::function<void(const MemResult &)> cb);
-    void atomic(Addr a, std::function<std::uint64_t(std::uint64_t)> rmw,
-                std::function<void(const MemResult &)> cb);
-    void ifetch(Addr a, std::function<void(const MemResult &)> cb);
+    void load(Addr a, MemCallback cb);
+    void store(Addr a, std::uint64_t v, MemCallback cb);
+    void atomic(Addr a, MemRmwFn rmw, MemCallback cb);
+    void ifetch(Addr a, MemCallback cb);
 
     /** Memory operations completed. */
     std::uint64_t opsCompleted() const { return _opsCompleted; }
@@ -100,13 +111,15 @@ class Sequencer
     const RunningStat &latencyStat() const { return _latency; }
 
   private:
-    void issue(MemRequest req, bool to_icache);
+    void issue(MemRequest req, bool to_icache, MemCallback cb);
+    void complete(const MemResult &res);
 
     SimContext &_ctx;
     unsigned _procId;
     L1CacheIF *_dcache = nullptr;
     L1CacheIF *_icache = nullptr;
     bool _busy = false;
+    MemCallback _userCb;  //!< parked continuation of the in-flight op
     std::uint64_t _opsCompleted = 0;
     RunningStat _latency;
 };

@@ -5,14 +5,17 @@
  * Workloads (Table 2 micro-benchmarks, synthetic commercial proxies)
  * are written as small continuation-passing programs over think(),
  * load(), store() and atomic RMW primitives running on a simulated
- * processor's sequencer.
+ * processor's sequencer. The primitives are templates over the
+ * continuation type: lambdas flow into pooled kernel events and
+ * small-buffer callbacks without ever materializing a std::function,
+ * so the steady-state load/store path performs no heap allocation.
  */
 
 #ifndef TOKENCMP_CPU_THREAD_HH
 #define TOKENCMP_CPU_THREAD_HH
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "cpu/sequencer.hh"
 #include "net/controller.hh"
@@ -49,49 +52,61 @@ class ThreadContext
 
   protected:
     /** Spend `dur` ticks of compute, then continue. */
+    template <typename K>
     void
-    think(Tick dur, std::function<void()> k)
+    think(Tick dur, K &&k)
     {
-        _ctx.eventq.schedule(dur, std::move(k));
+        _ctx.eventq.schedule(dur, std::forward<K>(k));
     }
 
+    /** Load a block; continuation receives its value. */
+    template <typename K>
     void
-    load(Addr a, std::function<void(std::uint64_t)> k)
+    load(Addr a, K &&k)
     {
-        _seq.load(a, [k = std::move(k)](const MemResult &r) {
+        _seq.load(a, [k = std::forward<K>(k)](const MemResult &r) mutable {
             k(r.value);
         });
     }
 
+    template <typename K>
     void
-    store(Addr a, std::uint64_t v, std::function<void()> k)
+    store(Addr a, std::uint64_t v, K &&k)
     {
-        _seq.store(a, v, [k = std::move(k)](const MemResult &) { k(); });
+        _seq.store(a, v,
+                   [k = std::forward<K>(k)](const MemResult &) mutable {
+                       k();
+                   });
     }
 
     /** Atomic fetch-and-modify; continuation receives the old value. */
+    template <typename F, typename K>
     void
-    atomic(Addr a, std::function<std::uint64_t(std::uint64_t)> rmw,
-           std::function<void(std::uint64_t)> k)
+    atomic(Addr a, F &&rmw, K &&k)
     {
-        _seq.atomic(a, std::move(rmw),
-                    [k = std::move(k)](const MemResult &r) {
+        _seq.atomic(a, std::forward<F>(rmw),
+                    [k = std::forward<K>(k)](const MemResult &r) mutable {
                         k(r.value);
                     });
     }
 
     /** Test-and-set: sets the block to 1, old value to continuation. */
+    template <typename K>
     void
-    testAndSet(Addr a, std::function<void(std::uint64_t)> k)
+    testAndSet(Addr a, K &&k)
     {
         atomic(a, [](std::uint64_t) { return std::uint64_t(1); },
-               std::move(k));
+               std::forward<K>(k));
     }
 
+    template <typename K>
     void
-    ifetch(Addr a, std::function<void()> k)
+    ifetch(Addr a, K &&k)
     {
-        _seq.ifetch(a, [k = std::move(k)](const MemResult &) { k(); });
+        _seq.ifetch(a,
+                    [k = std::forward<K>(k)](const MemResult &) mutable {
+                        k();
+                    });
     }
 
     /** Mark this thread complete. */

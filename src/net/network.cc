@@ -19,6 +19,36 @@ netLevelName(NetLevel l)
     return "?";
 }
 
+void
+DeliverEvent::process()
+{
+    // Close the batch before delivering: a handler may send to this
+    // same controller at this same tick, which must open a fresh event
+    // (later in (tick, seq) order), never append to a fired one.
+    if (_net->_open[_dstIdx] == this)
+        _net->_open[_dstIdx] = nullptr;
+    ++_net->_wakeups;
+    for (const Msg &m : _msgs) {
+        --_net->_inFlight;
+        _dst->handleMsg(m);
+    }
+    _msgs.clear();  // keeps capacity; release() treats leftovers as
+                    // undelivered
+}
+
+void
+DeliverEvent::release()
+{
+    // Released without firing (EventQueue::reset()/releaseAll()): the
+    // messages never arrived, and the open-batch slot must not keep
+    // pointing at a node about to be recycled.
+    _net->_inFlight -= _msgs.size();
+    if (_net->_open[_dstIdx] == this)
+        _net->_open[_dstIdx] = nullptr;
+    _msgs.clear();
+    _net->_pool.recycle(this);
+}
+
 Network::Network(EventQueue &eq, const Topology &topo,
                  const NetworkParams &params)
     : _eq(eq), _topo(topo), _p(params)
@@ -28,6 +58,17 @@ Network::Network(EventQueue &eq, const Topology &topo,
     _intraGateways.assign(_topo.numCmps, Link{});
     _interLinks.assign(_topo.numCmps * _topo.numCmps, Link{});
     _memLinks.assign(2 * _topo.numCmps, Link{});
+    _open.assign(_topo.numControllers(), nullptr);
+}
+
+Network::~Network()
+{
+    // Pending DeliverEvents recycle into _pool, which dies with this
+    // object; clear the queue while the pool is still alive. This
+    // releases EVERY pending event (not just ours) — valid only
+    // because a Network and its EventQueue are torn down together
+    // (System declares the SimContext before the Network).
+    _eq.releaseAll();
 }
 
 void
@@ -123,17 +164,34 @@ Network::send(Msg msg, Tick sender_delay)
 void
 Network::deliver(const Msg &msg, Tick arrival)
 {
-    Controller *dst = _controllers.at(_topo.globalIndex(msg.dst));
+    const unsigned idx = _topo.globalIndex(msg.dst);
+    Controller *dst = _controllers.at(idx);
     if (dst == nullptr)
         panic("message to unregistered controller %s",
               msg.dst.toString().c_str());
 
     ++_inFlight;
     ++_totalMsgs;
-    _eq.scheduleAbs(arrival, [this, dst, msg]() {
-        --_inFlight;
-        dst->handleMsg(msg);
-    });
+
+    // Join the destination's open batch only when it targets the same
+    // tick AND nothing was scheduled since its last append — then the
+    // batch members are consecutive in (tick, seq) and delivering them
+    // from one wakeup is indistinguishable from per-message events.
+    DeliverEvent *b = _open[idx];
+    if (_p.batchDelivery && b != nullptr && b->scheduled() &&
+        b->when() == arrival && _eq.nextSeq() == b->seq() + 1) {
+        b->_msgs.push_back(msg);
+        ++_batched;
+        return;
+    }
+
+    b = _pool.acquire();
+    b->_net = this;
+    b->_dst = dst;
+    b->_dstIdx = idx;
+    b->_msgs.push_back(msg);
+    _eq.scheduleEvent(b, arrival);
+    _open[idx] = b;
 }
 
 std::uint64_t
@@ -151,6 +209,8 @@ Network::clearStats()
     for (auto &lvl : _bytes)
         lvl.fill(0);
     _totalMsgs = 0;
+    _wakeups = 0;
+    _batched = 0;
 }
 
 } // namespace tokencmp

@@ -17,6 +17,14 @@
  * plus the destination's memory link. Bandwidth is modeled per link with
  * store-and-forward serialization, producing queueing under load.
  *
+ * Delivery is a first-class pooled DeliverEvent: no closure or heap
+ * allocation per hop, and messages bound for the same controller at the
+ * same tick are batched into one wakeup. Batching is order-preserving:
+ * a message joins an open batch only when nothing else was scheduled on
+ * the event queue since the batch's last append, so the global
+ * (tick, seq) delivery order — and therefore every simulation outcome —
+ * is bit-identical to unbatched per-message delivery.
+ *
  * The network also owns the Figure 7 traffic accounting: bytes per
  * (level, traffic class).
  */
@@ -36,6 +44,7 @@
 namespace tokencmp {
 
 class Controller;
+class Network;
 
 /** Link latencies and bandwidths (paper Table 3 defaults). */
 struct NetworkParams
@@ -47,6 +56,7 @@ struct NetworkParams
     Tick memLinkLatency = ns(20);
     double memLinkBytesPerNs = 16.0;
     bool modelBandwidth = true;     //!< serialize on link bandwidth
+    bool batchDelivery = true;      //!< coalesce same-(dst,tick) bursts
 };
 
 /** Physical network levels for traffic accounting. */
@@ -54,6 +64,28 @@ enum class NetLevel : std::uint8_t { Intra, Inter, MemLink, NumLevels };
 
 /** Printable name of a network level. */
 const char *netLevelName(NetLevel l);
+
+/**
+ * Pooled arrival event: one wakeup hands a batch of same-tick messages
+ * to one controller. The message vector's capacity survives recycling,
+ * so steady-state delivery allocates nothing.
+ */
+class DeliverEvent final : public Event
+{
+  public:
+    DeliverEvent() = default;
+
+    void process() override;
+    void release() override;
+
+  private:
+    friend class Network;
+
+    Network *_net = nullptr;
+    Controller *_dst = nullptr;
+    unsigned _dstIdx = 0;
+    std::vector<Msg> _msgs;
+};
 
 /**
  * The interconnect: routes messages between registered controllers,
@@ -64,6 +96,10 @@ class Network
   public:
     Network(EventQueue &eq, const Topology &topo,
             const NetworkParams &params);
+    ~Network();
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
 
     /** Attach a controller; must be called before any send() to it. */
     void registerController(Controller *c);
@@ -79,6 +115,12 @@ class Network
 
     /** Total messages ever sent. */
     std::uint64_t totalMessages() const { return _totalMsgs; }
+
+    /** Delivery wakeups fired (<= totalMessages when batching). */
+    std::uint64_t deliveryWakeups() const { return _wakeups; }
+
+    /** Messages that rode an existing batch instead of a new event. */
+    std::uint64_t batchedMessages() const { return _batched; }
 
     /** Bytes moved on a level for one traffic class. */
     std::uint64_t
@@ -97,6 +139,8 @@ class Network
     EventQueue &eventQueue() { return _eq; }
 
   private:
+    friend class DeliverEvent;
+
     /** Occupancy of one serializing link. */
     struct Link
     {
@@ -129,8 +173,14 @@ class Network
     std::vector<Link> _interLinks;                //!< directed CMP pairs
     std::vector<Link> _memLinks;                  //!< 2 per CMP (to/from)
 
+    /** Latest still-open batch per destination controller. */
+    std::vector<DeliverEvent *> _open;
+    EventPool<DeliverEvent> _pool;
+
     std::uint64_t _inFlight = 0;
     std::uint64_t _totalMsgs = 0;
+    std::uint64_t _wakeups = 0;
+    std::uint64_t _batched = 0;
     std::array<std::array<std::uint64_t,
                           unsigned(TrafficClass::NumClasses)>,
                unsigned(NetLevel::NumLevels)>

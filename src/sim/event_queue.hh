@@ -2,10 +2,33 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * A single EventQueue orders closures by (tick, sequence number), where
- * the sequence number is a monotone insertion counter. Equal-tick events
- * therefore execute in insertion order, which makes every simulation
- * deterministic for a given seed.
+ * A single EventQueue orders Events by (tick, sequence number), where
+ * the sequence number is a monotone insertion counter. Equal-tick
+ * events therefore execute in insertion order, which makes every
+ * simulation deterministic for a given seed.
+ *
+ * Two interchangeable scheduler backends implement that contract:
+ *
+ *  - TimingWheel (default): a hierarchical timing wheel — three levels
+ *    of 256 slots with 2^10/2^18/2^26-tick granularity, covering ~17 ms
+ *    of simulated time relative to now — plus a binary-heap spillover
+ *    for the rare farther-future event. Insertion and extraction are
+ *    O(1) amortized; the protocol latencies that dominate scheduling
+ *    (2/20 ns, i.e. 2000/20000 ticks) always land in the bottom two
+ *    levels.
+ *
+ *  - ReferenceHeap: a plain binary heap. O(log n), kept as the ordering
+ *    oracle for randomized cross-checks and determinism regression
+ *    tests.
+ *
+ * Events due soon are drained bucket-at-a-time into a run queue sorted
+ * by (tick, seq); same-tick events scheduled *while the tick executes*
+ * are spliced into that run queue in order, preserving the exact
+ * semantics of a (tick, seq) priority queue.
+ *
+ * The closure API (schedule(delay, lambda)) is a thin compatibility
+ * layer over pooled InlineAction events: steady-state scheduling does
+ * not allocate.
  */
 
 #ifndef TOKENCMP_SIM_EVENT_QUEUE_HH
@@ -13,49 +36,94 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <type_traits>
 #include <vector>
 
+#include "sim/event.hh"
 #include "sim/types.hh"
 
 namespace tokencmp {
 
+/** Selectable scheduler backend (see file comment). */
+enum class SchedulerKind : std::uint8_t {
+    TimingWheel,    //!< hierarchical wheel + far-future heap (default)
+    ReferenceHeap,  //!< binary heap ordering oracle for tests
+};
+
+/** Printable backend name. */
+const char *schedulerKindName(SchedulerKind k);
+
 /**
  * Deterministic discrete-event queue.
  *
- * The queue owns the simulated clock. schedule() enqueues a closure at
- * an absolute or relative tick; run() drains events until the queue is
- * empty or a configured horizon/stop condition fires.
+ * The queue owns the simulated clock. schedule()/scheduleEvent()
+ * enqueue work at an absolute or relative tick; run() drains events
+ * until the queue is empty or a configured horizon/stop condition
+ * fires.
  */
 class EventQueue
 {
   public:
-    using Action = std::function<void()>;
+    using Action = std::function<void()>;  //!< legacy closure alias
 
-    EventQueue() = default;
+    explicit EventQueue(SchedulerKind kind = SchedulerKind::TimingWheel)
+        : _kind(kind)
+    {}
+    ~EventQueue();
+
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Tick curTick() const { return _curTick; }
 
-    /** Schedule an action at absolute tick `when` (>= curTick). */
-    void scheduleAbs(Tick when, Action action);
+    /** Active scheduler backend. */
+    SchedulerKind kind() const { return _kind; }
 
-    /** Schedule an action `delay` ticks from now. */
-    void schedule(Tick delay, Action action)
+    /** Switch backends; only legal on a fresh/reset, empty queue. */
+    void setKind(SchedulerKind k);
+
+    /**
+     * Schedule a typed event at absolute tick `when` (>= curTick).
+     * The kernel invokes process() at that tick, then release()
+     * (unless process() re-scheduled the event).
+     */
+    void scheduleEvent(Event *e, Tick when);
+
+    /** Schedule a closure at absolute tick `when` (>= curTick). */
+    template <typename F>
+    void
+    scheduleAbs(Tick when, F &&f)
     {
-        scheduleAbs(_curTick + delay, std::move(action));
+        static_assert(std::is_invocable_v<std::decay_t<F> &>,
+                      "schedule() requires a nullary callable; use "
+                      "scheduleEvent() for typed events");
+        scheduleEvent(makeAction(std::forward<F>(f)), when);
+    }
+
+    /** Schedule a closure `delay` ticks from now. */
+    template <typename F>
+    void
+    schedule(Tick delay, F &&f)
+    {
+        scheduleAbs(_curTick + delay, std::forward<F>(f));
     }
 
     /** True if no events are pending. */
-    bool empty() const { return _heap.empty(); }
+    bool empty() const { return _pending == 0; }
 
     /** Number of pending events. */
-    std::size_t size() const { return _heap.size(); }
+    std::size_t size() const { return _pending; }
 
     /** Total events executed so far. */
     std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Sequence number the next scheduled event will receive. Lets the
+     * network detect whether anything was scheduled between two sends
+     * (the condition for order-preserving delivery batching).
+     */
+    std::uint64_t nextSeq() const { return _nextSeq; }
 
     /**
      * Run until the queue is empty or the horizon is reached.
@@ -75,33 +143,107 @@ class EventQueue
     bool runUntil(const std::function<bool()> &done,
                   Tick horizon = ~Tick(0));
 
-    /** Drop all pending events and reset the clock to zero. */
+    /**
+     * Release every pending event (returning pooled events to their
+     * pools) without touching the clock or counters. Used by owners of
+     * event pools that are about to be destroyed.
+     */
+    void releaseAll();
+
+    /**
+     * Drop all pending events and reset the clock, the insertion
+     * sequence counter and the executed count to zero, so back-to-back
+     * runs in one process are bit-identical to fresh-process runs.
+     */
     void reset();
 
+    /** InlineAction pool growth (steady state: stops growing). */
+    std::uint64_t actionsAllocated() const
+    {
+        return _actionPool.allocated();
+    }
+
+    /** InlineAction acquisitions served from the pool free list. */
+    std::uint64_t actionsReused() const { return _actionPool.reused(); }
+
   private:
-    struct Entry
+    friend class InlineAction;
+
+    // Wheel geometry: 3 levels x 256 slots; level l covers ticks
+    // [now, now + 2^(10 + 8*(l+1))) at 2^(10 + 8*l)-tick granularity.
+    static constexpr unsigned slotBits = 8;
+    static constexpr unsigned numSlots = 1u << slotBits;
+    static constexpr unsigned baseShift = 10;
+    static constexpr unsigned numLevels = 3;
+    static constexpr unsigned occWords = numSlots / 64;
+
+    static constexpr unsigned
+    levelShift(unsigned level)
     {
-        Tick when;
-        std::uint64_t seq;
-        Action action;
+        return baseShift + slotBits * level;
+    }
+
+    /** FIFO chain of events threaded through Event::_next. */
+    struct Chain
+    {
+        Event *head = nullptr;
+        Event *tail = nullptr;
     };
 
-    struct Later
+    template <typename F>
+    InlineAction *
+    makeAction(F &&f)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        InlineAction *a = _actionPool.acquire();
+        a->_owner = this;
+        a->arm(std::forward<F>(f));
+        return a;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    void recycleAction(InlineAction *a);
+
+    void insertPending(Event *e);
+    void runqInsert(Event *e);
+    void chainAppend(Chain &c, Event *e);
+    int lowestSet(const std::uint64_t *occ) const;
+    bool refill();           //!< make the run queue non-empty
+    Event *peekNext();       //!< next event or nullptr (refills)
+    Event *popNext();        //!< consume the event peekNext returned
+    void executeOne(Event *e);  //!< pop, clock-advance, process, release
+    void farPush(Event *e);
+    Event *farPop();
+
+    SchedulerKind _kind;
     Tick _curTick = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;
+    std::size_t _pending = 0;
+
+    /**
+     * Events with when < _pos, sorted by (when, seq); _runqHead indexes
+     * the next event to execute. The wheel and far heap only hold
+     * events with when >= _pos.
+     */
+    std::vector<Event *> _runq;
+    std::size_t _runqHead = 0;
+    Tick _pos = 0;
+
+    Chain _wheel[numLevels][numSlots];
+    std::uint64_t _occ[numLevels][occWords] = {};
+
+    /** Beyond-wheel events (and the whole store in ReferenceHeap
+     *  mode), as a binary min-heap on (when, seq). */
+    std::vector<Event *> _far;
+
+    EventPool<InlineAction> _actionPool;
 };
+
+inline void
+InlineAction::release()
+{
+    disarm();
+    _owner->recycleAction(this);
+}
 
 } // namespace tokencmp
 

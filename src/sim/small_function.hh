@@ -1,0 +1,231 @@
+/**
+ * @file
+ * SmallFunction: a std::function replacement with a guaranteed inline
+ * small-buffer capacity, used on the load/store/atomic continuation
+ * path so steady-state memory operations allocate nothing. Callables
+ * larger than the inline capacity fall back to the heap (correct, just
+ * slower) instead of failing to compile, so workload code can keep
+ * writing ordinary lambdas.
+ */
+
+#ifndef TOKENCMP_SIM_SMALL_FUNCTION_HH
+#define TOKENCMP_SIM_SMALL_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tokencmp {
+
+template <typename Sig, std::size_t N>
+class SmallFunction;
+
+/**
+ * Type-erased callable with N bytes of inline storage.
+ *
+ * Copyable and movable like std::function; operator() is const-callable
+ * (the target may still mutate its own captures, matching std::function
+ * semantics).
+ */
+template <typename R, typename... Args, std::size_t N>
+class SmallFunction<R(Args...), N>
+{
+    enum class Op { Destroy, Copy, Move };
+
+    using InvokeFn = R (*)(void *, Args &&...);
+    using ManageFn = void (*)(void *self, void *other, Op);
+
+    /** F stored inline in the buffer. */
+    template <typename F>
+    struct InlineHandler
+    {
+        static R
+        invoke(void *buf, Args &&...args)
+        {
+            return (*static_cast<F *>(buf))(std::forward<Args>(args)...);
+        }
+
+        static void
+        manage(void *self, void *other, Op op)
+        {
+            switch (op) {
+              case Op::Destroy:
+                static_cast<F *>(self)->~F();
+                return;
+              case Op::Copy:
+                ::new (self) F(*static_cast<const F *>(other));
+                return;
+              case Op::Move:
+                ::new (self) F(std::move(*static_cast<F *>(other)));
+                static_cast<F *>(other)->~F();
+                return;
+            }
+        }
+    };
+
+    /** F too large for the buffer: an owning pointer lives inline. */
+    template <typename F>
+    struct HeapHandler
+    {
+        static F *&ptr(void *buf) { return *static_cast<F **>(buf); }
+
+        static R
+        invoke(void *buf, Args &&...args)
+        {
+            return (*ptr(buf))(std::forward<Args>(args)...);
+        }
+
+        static void
+        manage(void *self, void *other, Op op)
+        {
+            switch (op) {
+              case Op::Destroy:
+                delete ptr(self);
+                return;
+              case Op::Copy:
+                ptr(self) = new F(*ptr(other));
+                return;
+              case Op::Move:
+                ptr(self) = ptr(other);
+                ptr(other) = nullptr;
+                return;
+            }
+        }
+    };
+
+    template <typename F>
+    static constexpr bool fitsInline =
+        sizeof(F) <= N && alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;  // move ctor is noexcept
+
+  public:
+    SmallFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    SmallFunction(F &&f)  // NOLINT: implicit like std::function
+    {
+        assign(std::forward<F>(f));
+    }
+
+    SmallFunction(const SmallFunction &o)
+        : _invoke(o._invoke), _manage(o._manage),
+          _inlineStored(o._inlineStored)
+    {
+        if (_manage != nullptr)
+            _manage(_buf, const_cast<unsigned char *>(o._buf), Op::Copy);
+    }
+
+    SmallFunction(SmallFunction &&o) noexcept
+        : _invoke(o._invoke), _manage(o._manage),
+          _inlineStored(o._inlineStored)
+    {
+        if (_manage != nullptr) {
+            _manage(_buf, o._buf, Op::Move);
+            o._invoke = nullptr;
+            o._manage = nullptr;
+        }
+    }
+
+    SmallFunction &
+    operator=(const SmallFunction &o)
+    {
+        if (this != &o) {
+            SmallFunction tmp(o);
+            *this = std::move(tmp);
+        }
+        return *this;
+    }
+
+    SmallFunction &
+    operator=(SmallFunction &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            _invoke = o._invoke;
+            _manage = o._manage;
+            _inlineStored = o._inlineStored;
+            if (_manage != nullptr) {
+                _manage(_buf, o._buf, Op::Move);
+                o._invoke = nullptr;
+                o._manage = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    SmallFunction &
+    operator=(F &&f)
+    {
+        destroy();
+        assign(std::forward<F>(f));
+        return *this;
+    }
+
+    ~SmallFunction() { destroy(); }
+
+    explicit operator bool() const { return _invoke != nullptr; }
+
+    R
+    operator()(Args... args) const
+    {
+        if (_invoke == nullptr)
+            panic("SmallFunction: calling an empty function");
+        return _invoke(const_cast<unsigned char *>(_buf),
+                       std::forward<Args>(args)...);
+    }
+
+    /** True when the target lives in the inline buffer (for tests). */
+    bool
+    inlineStored() const
+    {
+        return _invoke != nullptr && _inlineStored;
+    }
+
+  private:
+    template <typename F>
+    void
+    assign(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>) {
+            ::new (static_cast<void *>(_buf)) Fn(std::forward<F>(f));
+            _invoke = &InlineHandler<Fn>::invoke;
+            _manage = &InlineHandler<Fn>::manage;
+            _inlineStored = true;
+        } else {
+            HeapHandler<Fn>::ptr(_buf) = new Fn(std::forward<F>(f));
+            _invoke = &HeapHandler<Fn>::invoke;
+            _manage = &HeapHandler<Fn>::manage;
+            _inlineStored = false;
+        }
+    }
+
+    void
+    destroy()
+    {
+        if (_manage != nullptr) {
+            _manage(_buf, nullptr, Op::Destroy);
+            _invoke = nullptr;
+            _manage = nullptr;
+        }
+    }
+
+    InvokeFn _invoke = nullptr;
+    ManageFn _manage = nullptr;
+    bool _inlineStored = false;
+    alignas(std::max_align_t) unsigned char _buf[N];
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_SIM_SMALL_FUNCTION_HH

@@ -58,6 +58,14 @@ struct SystemConfig
     bool audit = true;  //!< token-conservation auditing
 
     /**
+     * Event-kernel backend. TimingWheel is the fast default;
+     * ReferenceHeap is the ordering oracle used by determinism
+     * regression tests — both execute events in identical (tick, seq)
+     * order, so results must be bit-identical.
+     */
+    SchedulerKind scheduler = SchedulerKind::TimingWheel;
+
+    /**
      * Keep the caller's hand-set token policy instead of the Table 1
      * preset implied by `protocol` (for ablations sweeping individual
      * policy knobs).

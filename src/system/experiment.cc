@@ -235,15 +235,4 @@ ExperimentRunner::run() const
     return exp;
 }
 
-ExperimentResult
-runSeeds(SystemConfig cfg, const WorkloadFactory &workload_factory,
-         unsigned seeds, Tick horizon)
-{
-    return ExperimentRunner::of(cfg)
-        .workload(workload_factory)
-        .seeds(seeds)
-        .horizon(horizon)
-        .run();
-}
-
 } // namespace tokencmp

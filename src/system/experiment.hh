@@ -1,7 +1,6 @@
 /**
  * @file
- * Multi-seed experiment driver. Replaces the old free-function
- * `runSeeds` with a fluent, parallel runner:
+ * Multi-seed experiment driver: a fluent, parallel runner.
  *
  *   auto result = Experiment::of(cfg)
  *                     .workload([] { return std::make_unique<...>(); })
@@ -116,17 +115,6 @@ class ExperimentRunner
 
 /** Fluent entry point alias: Experiment::of(cfg).workload(...).run(). */
 using Experiment = ExperimentRunner;
-
-/**
- * Deprecated shim for the old serial API; forwards to
- * ExperimentRunner. Will be removed next PR — migrate to
- * `Experiment::of(cfg).workload(f).seeds(n).run()`.
- */
-[[deprecated("use Experiment::of(cfg).workload(f).seeds(n).run()")]]
-ExperimentResult runSeeds(SystemConfig cfg,
-                          const WorkloadFactory &workload_factory,
-                          unsigned seeds,
-                          Tick horizon = ns(500000000));
 
 } // namespace tokencmp
 

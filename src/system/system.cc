@@ -9,6 +9,7 @@ namespace tokencmp {
 System::System(const SystemConfig &cfg) : _cfg(cfg)
 {
     _cfg.finalize();
+    _ctx.eventq.setKind(_cfg.scheduler);
     _ctx.topo = _cfg.topo;
     _ctx.rng.reseed(_cfg.seed * 0x9e3779b97f4a7c15ull + 12345);
     _net = std::make_unique<Network>(_ctx.eventq, _ctx.topo, _cfg.net);

@@ -35,20 +35,31 @@ shapeName(const ::testing::TestParamInfo<ShapeParam> &info)
         if (c == '-')
             c = '_';
     }
-    return "c" + std::to_string(shape.cmps) + "p" +
-           std::to_string(shape.procs) + "_" + n;
+    // Built with += to dodge GCC 12's -Wrestrict false positive on
+    // operator+(const char *, std::string &&).
+    std::string out = "c";
+    out += std::to_string(shape.cmps);
+    out += "p";
+    out += std::to_string(shape.procs);
+    out += "_";
+    out += n;
+    return out;
 }
 
 std::string
 intName(const ::testing::TestParamInfo<int> &info)
 {
-    return "v" + std::to_string(info.param);
+    std::string out = "v";
+    out += std::to_string(info.param);
+    return out;
 }
 
 std::string
 unsignedName(const ::testing::TestParamInfo<unsigned> &info)
 {
-    return "v" + std::to_string(info.param);
+    std::string out = "v";
+    out += std::to_string(info.param);
+    return out;
 }
 
 } // namespace

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Kernel-semantics tests for the typed pooled event queue: equal-tick
+ * insertion-order determinism, timing-wheel vs reference-heap
+ * equivalence under randomized schedules (including re-entrant and
+ * far-future scheduling), pool reuse under churn, and reset()
+ * restoring bit-identical fresh-process behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/small_function.hh"
+#include "sim/types.hh"
+
+namespace tokencmp {
+
+namespace {
+
+/** Execution trace: (tick, tag) per executed event. */
+using Trace = std::vector<std::pair<Tick, std::uint64_t>>;
+
+/**
+ * Drive one randomized schedule: `initial` root events, each executed
+ * event re-schedules a few children with random (possibly huge) delays
+ * until the budget runs out. Exercises same-tick chains, bucket spans,
+ * wheel cascades and the far-future heap.
+ */
+Trace
+randomizedRun(SchedulerKind kind, std::uint64_t seed, unsigned initial,
+              unsigned budget)
+{
+    EventQueue eq(kind);
+    Random rng(seed);
+    Trace trace;
+    std::uint64_t tag = 0;
+    unsigned remaining = budget;
+
+    // Delay distribution: mostly protocol-like small constants, some
+    // zero-delay chains, some think-time scale, rare far-future jumps.
+    auto pickDelay = [&rng]() -> Tick {
+        switch (rng.uniform(10)) {
+          case 0: return 0;
+          case 1: case 2: case 3: return ns(2);
+          case 4: case 5: return ns(20);
+          case 6: return rng.uniform(5000);
+          case 7: return ns(rng.uniform(3000));          // < 3 us
+          case 8: return ns(1000000 + rng.uniform(100)); // ~1 ms
+          default: return ns(20000000 + rng.uniform(7)); // ~20 ms (far)
+        }
+    };
+
+    std::function<void()> spawn = [&]() {
+        trace.emplace_back(eq.curTick(), tag++);
+        if (remaining == 0)
+            return;
+        const unsigned kids = unsigned(rng.uniform(3));
+        for (unsigned k = 0; k < kids && remaining > 0; ++k) {
+            --remaining;
+            eq.schedule(pickDelay(), spawn);
+        }
+    };
+
+    for (unsigned i = 0; i < initial; ++i)
+        eq.schedule(pickDelay(), spawn);
+    eq.run();
+    EXPECT_TRUE(eq.empty());
+    return trace;
+}
+
+} // namespace
+
+TEST(EventQueue, EqualTicksRunInInsertionOrderAcrossBackends)
+{
+    for (SchedulerKind kind :
+         {SchedulerKind::TimingWheel, SchedulerKind::ReferenceHeap}) {
+        EventQueue eq(kind);
+        std::vector<int> order;
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(5, [&order, i]() { order.push_back(i); });
+        eq.run();
+        ASSERT_EQ(order.size(), 64u) << schedulerKindName(kind);
+        for (int i = 0; i < 64; ++i)
+            EXPECT_EQ(order[i], i) << schedulerKindName(kind);
+    }
+}
+
+TEST(EventQueue, WheelMatchesReferenceHeapRandomized)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        Trace wheel = randomizedRun(SchedulerKind::TimingWheel, seed,
+                                    16, 4000);
+        Trace heap = randomizedRun(SchedulerKind::ReferenceHeap, seed,
+                                   16, 4000);
+        ASSERT_EQ(wheel.size(), heap.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < wheel.size(); ++i) {
+            ASSERT_EQ(wheel[i], heap[i])
+                << "seed " << seed << " event " << i << " wheel ("
+                << wheel[i].first << "," << wheel[i].second
+                << ") heap (" << heap[i].first << ","
+                << heap[i].second << ")";
+        }
+    }
+}
+
+TEST(EventQueue, FarHeapEventsNotOvertakenAtEpochBoundary)
+{
+    // Regression: when a level-0 drain lands _pos exactly on a
+    // top-level (2^34-tick) epoch boundary, events already parked in
+    // the far heap for the new epoch must run before any wheel event
+    // inserted for that epoch afterwards.
+    const Tick epoch = Tick(1) << 34;
+    for (SchedulerKind kind :
+         {SchedulerKind::TimingWheel, SchedulerKind::ReferenceHeap}) {
+        EventQueue eq(kind);
+        std::vector<int> order;
+        std::vector<Tick> ticks;
+        auto note = [&](int tag) {
+            order.push_back(tag);
+            ticks.push_back(eq.curTick());
+        };
+        eq.scheduleAbs(epoch + 100, [&]() { note(1); });  // far heap
+        eq.scheduleAbs(epoch - 512, [&, note]() {
+            note(0);
+            // Drains the last bucket of epoch 0, putting _pos on the
+            // boundary; this insertion then lands in the wheel.
+            eq.scheduleAbs(epoch + 200, [&]() { note(2); });
+        });
+        eq.run();
+        EXPECT_EQ(order, (std::vector<int>{0, 1, 2}))
+            << schedulerKindName(kind);
+        ASSERT_EQ(ticks.size(), 3u);
+        EXPECT_LE(ticks[1], ticks[2]) << "clock went backwards";
+    }
+}
+
+TEST(EventQueue, ScheduleAfterHorizonStopRunsInOrder)
+{
+    // Regression: a horizon-bounded run() may leave future events
+    // staged in the run queue; an event scheduled below their tick
+    // afterwards must still execute first, on both backends.
+    for (SchedulerKind kind :
+         {SchedulerKind::TimingWheel, SchedulerKind::ReferenceHeap}) {
+        EventQueue eq(kind);
+        std::vector<int> order;
+        eq.scheduleAbs(100, [&]() { order.push_back(1); });
+        EXPECT_FALSE(eq.run(50));
+        eq.scheduleAbs(10, [&]() { order.push_back(0); });
+        EXPECT_TRUE(eq.run());
+        EXPECT_EQ(order, (std::vector<int>{0, 1}))
+            << schedulerKindName(kind);
+        EXPECT_EQ(eq.curTick(), 100u) << schedulerKindName(kind);
+    }
+}
+
+TEST(EventQueue, SameTickReentrantSchedulingKeepsSeqOrder)
+{
+    // An executing event scheduling at its own tick must run after
+    // every already-pending event of that tick, in insertion order.
+    for (SchedulerKind kind :
+         {SchedulerKind::TimingWheel, SchedulerKind::ReferenceHeap}) {
+        EventQueue eq(kind);
+        std::vector<int> order;
+        eq.schedule(10, [&]() {
+            order.push_back(0);
+            eq.schedule(0, [&]() { order.push_back(3); });
+        });
+        eq.schedule(10, [&]() { order.push_back(1); });
+        eq.schedule(10, [&]() {
+            order.push_back(2);
+            eq.schedule(0, [&]() { order.push_back(4); });
+        });
+        eq.run();
+        EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}))
+            << schedulerKindName(kind);
+        EXPECT_EQ(eq.curTick(), 10u);
+    }
+}
+
+TEST(EventQueue, PoolReuseUnderChurn)
+{
+    EventQueue eq;
+    // Steady-state churn: one event in flight at a time, re-scheduling
+    // itself; the InlineAction pool must stop growing immediately.
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        if (++fired < 10000)
+            eq.schedule(ns(2), chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 10000);
+    EXPECT_LE(eq.actionsAllocated(), 4u);
+    EXPECT_GE(eq.actionsReused(), 9000u);
+}
+
+TEST(EventQueue, TypedEventPoolRecyclesNodes)
+{
+    struct CountingEvent final : Event
+    {
+        int *counter = nullptr;
+        EventPool<CountingEvent> *pool = nullptr;
+        void process() override { ++*counter; }
+        void release() override { pool->recycle(this); }
+    };
+
+    EventQueue eq;
+    EventPool<CountingEvent> pool;
+    int count = 0;
+    for (int round = 0; round < 100; ++round) {
+        CountingEvent *e = pool.acquire();
+        e->counter = &count;
+        e->pool = &pool;
+        eq.scheduleEvent(e, eq.curTick() + 5);
+        eq.run();
+    }
+    EXPECT_EQ(count, 100);
+    EXPECT_EQ(pool.allocated(), 1u);
+    EXPECT_EQ(pool.reused(), 99u);
+}
+
+TEST(EventQueue, ResetRestoresFreshProcessBehaviour)
+{
+    // Two identical schedules around a reset() must observe identical
+    // (tick, seq) assignment — i.e. the insertion sequence counter is
+    // rewound too, making back-to-back in-process runs bit-identical
+    // to fresh-process runs.
+    EventQueue eq;
+    auto runOnce = [&eq]() {
+        std::vector<std::uint64_t> seqs;
+        std::vector<Tick> ticks;
+        for (int i = 0; i < 5; ++i) {
+            eq.schedule(Tick(7 * i), [&, i]() {
+                ticks.push_back(eq.curTick());
+                seqs.push_back(eq.nextSeq());
+            });
+        }
+        eq.run();
+        return std::make_pair(ticks, seqs);
+    };
+    auto first = runOnce();
+    eq.reset();
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_EQ(eq.nextSeq(), 0u);
+    EXPECT_EQ(eq.executed(), 0u);
+    auto second = runOnce();
+    EXPECT_EQ(first, second);
+}
+
+TEST(EventQueue, ReleaseAllReturnsPendingEventsToPools)
+{
+    EventQueue eq;
+    for (int i = 0; i < 32; ++i)
+        eq.schedule(ns(1000) * Tick(i + 1), []() {});
+    const auto allocated = eq.actionsAllocated();
+    EXPECT_EQ(eq.size(), 32u);
+    eq.releaseAll();
+    EXPECT_TRUE(eq.empty());
+    // The pool serves the next wave without fresh allocation.
+    for (int i = 0; i < 32; ++i)
+        eq.schedule(Tick(i), []() {});
+    EXPECT_EQ(eq.actionsAllocated(), allocated);
+    eq.run();
+}
+
+TEST(SmallFunction, InlineAndHeapTargetsBehaveIdentically)
+{
+    SmallFunction<int(int), 16> small = [](int x) { return x + 1; };
+    EXPECT_TRUE(small.inlineStored());
+    EXPECT_EQ(small(41), 42);
+
+    // Oversized capture: falls back to the heap, still correct.
+    struct Big { std::uint64_t pad[8] = {1, 2, 3, 4, 5, 6, 7, 8}; };
+    Big big;
+    SmallFunction<int(int), 16> large = [big](int x) {
+        return int(big.pad[0]) + x;
+    };
+    EXPECT_FALSE(large.inlineStored());
+    EXPECT_EQ(large(1), 2);
+
+    // Copies are independent; moves transfer the target and the
+    // storage-kind flag travels with it.
+    auto copy = large;
+    EXPECT_EQ(copy(2), 3);
+    EXPECT_FALSE(copy.inlineStored());
+    auto moved = std::move(copy);
+    EXPECT_EQ(moved(3), 4);
+    EXPECT_FALSE(moved.inlineStored());
+    EXPECT_FALSE(static_cast<bool>(copy));  // NOLINT(bugprone-use-after-move)
+    auto smallMoved = std::move(small);
+    EXPECT_TRUE(smallMoved.inlineStored());
+    EXPECT_EQ(smallMoved(0), 1);
+    // Move-assignment across storage kinds updates the flag too.
+    smallMoved = std::move(moved);
+    EXPECT_FALSE(smallMoved.inlineStored());
+    EXPECT_EQ(smallMoved(4), 5);
+
+    int hits = 0;
+    SmallFunction<void(), 48> counting = [&hits]() { ++hits; };
+    auto counting2 = counting;
+    counting();
+    counting2();
+    EXPECT_EQ(hits, 2);
+}
+
+} // namespace tokencmp

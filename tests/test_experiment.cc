@@ -4,7 +4,7 @@
  * ExperimentRunner: registry coverage of all nine Protocol values,
  * typed controller lookup equivalence with the old white-box
  * accessors, bit-identical parallel vs serial execution, progress
- * callbacks, the deprecated runSeeds shim, and JSON export.
+ * callbacks, scheduler-backend equivalence, and JSON export.
  */
 
 #include <gtest/gtest.h>
@@ -180,20 +180,36 @@ TEST(ExperimentRunner, FirstSeedOffsetsSeedValues)
     EXPECT_EQ(seen, (std::set<std::uint64_t>{7, 8}));
 }
 
-TEST(ExperimentRunner, DeprecatedRunSeedsShimMatchesRunner)
+TEST(ExperimentRunner, TimingWheelMatchesReferenceHeap)
 {
-    SystemConfig cfg;
-    cfg.protocol = Protocol::TokenDst1;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    auto shim = runSeeds(cfg, smallLockingFactory(), 3);
-#pragma GCC diagnostic pop
-    auto runner = Experiment::of(cfg)
-                      .workload(smallLockingFactory())
-                      .seeds(3)
-                      .run();
-    ASSERT_TRUE(shim.allCompleted);
-    EXPECT_EQ(shim.runtime.samples(), runner.runtime.samples());
+    // The timing-wheel kernel must be observationally identical to the
+    // reference binary heap: same (tick, seq) execution order, so the
+    // whole multi-seed experiment aggregates bit for bit.
+    SystemConfig wheel_cfg;
+    wheel_cfg.protocol = Protocol::TokenDst1;
+    wheel_cfg.scheduler = SchedulerKind::TimingWheel;
+    SystemConfig heap_cfg = wheel_cfg;
+    heap_cfg.scheduler = SchedulerKind::ReferenceHeap;
+
+    auto wheel = Experiment::of(wheel_cfg)
+                     .workload(smallLockingFactory())
+                     .seeds(3)
+                     .run();
+    auto heap = Experiment::of(heap_cfg)
+                    .workload(smallLockingFactory())
+                    .seeds(3)
+                    .run();
+    ASSERT_TRUE(wheel.allCompleted);
+    ASSERT_TRUE(heap.allCompleted);
+    EXPECT_EQ(wheel.runtime.samples(), heap.runtime.samples());
+    ASSERT_EQ(wheel.perSeed.size(), heap.perSeed.size());
+    for (unsigned i = 0; i < wheel.perSeed.size(); ++i) {
+        const auto &a = wheel.perSeed[i];
+        const auto &b = heap.perSeed[i];
+        ASSERT_EQ(a.stats.all().size(), b.stats.all().size());
+        for (const auto &[k, v] : a.stats.all())
+            EXPECT_EQ(v, b.stats.get(k)) << "seed " << i + 1 << " " << k;
+    }
 }
 
 TEST(ExperimentResult, JsonExportIsWellFormed)

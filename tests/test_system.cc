@@ -9,6 +9,7 @@
 
 #include "test_util.hh"
 #include "workload/locking.hh"
+#include "workload/synthetic.hh"
 
 namespace tokencmp::test {
 
@@ -184,6 +185,42 @@ TEST(System, ExperimentComputesErrorBars)
     EXPECT_EQ(e.perSeed.size(), 4u);
     EXPECT_EQ(e.protocol, "DirectoryCMP");
     EXPECT_EQ(e.workload, "locking");
+}
+
+TEST(System, Figure6RunIsKernelInvariant)
+{
+    // Determinism regression for the kernel overhaul: a fixed-seed
+    // Figure 6 style run (synthetic commercial workload) must produce
+    // identical aggregate stats under the timing-wheel kernel and the
+    // reference-heap oracle, for both protocol families.
+    SyntheticParams wl = oltpParams();
+    wl.opsPerProc = 120;  // keep the regression fast
+
+    for (Protocol proto :
+         {Protocol::TokenDst1, Protocol::DirectoryCMP}) {
+        SCOPED_TRACE(protocolName(proto));
+        System::RunResult results[2];
+        unsigned i = 0;
+        for (SchedulerKind kind : {SchedulerKind::TimingWheel,
+                                   SchedulerKind::ReferenceHeap}) {
+            SystemConfig cfg;
+            cfg.protocol = proto;
+            cfg.scheduler = kind;
+            cfg.seed = 12345;
+            System sys(cfg);
+            SyntheticWorkload work(wl);
+            work.reset();
+            results[i++] = sys.run(work);
+        }
+        ASSERT_TRUE(results[0].completed);
+        ASSERT_TRUE(results[1].completed);
+        EXPECT_EQ(results[0].runtime, results[1].runtime);
+        EXPECT_EQ(results[0].violations, results[1].violations);
+        ASSERT_EQ(results[0].stats.all().size(),
+                  results[1].stats.all().size());
+        for (const auto &[k, v] : results[0].stats.all())
+            EXPECT_EQ(v, results[1].stats.get(k)) << k;
+    }
 }
 
 TEST(System, MeasureStartExcludesWarmup)
