@@ -23,6 +23,7 @@ TokenAuditor::initBlock(Addr addr)
 {
     if (!_enabled)
         return;
+    auto lock = _mu.lock();
     const Addr blk = blockAlign(addr);
     if (_blocks.count(blk))
         panic("auditor: block %llx initialized twice",
@@ -38,6 +39,7 @@ TokenAuditor::onSend(Addr addr, int tokens, bool owner, bool has_data)
 {
     if (!_enabled)
         return;
+    auto lock = _mu.lock();
     BlockInfo *b = find(addr);
     if (b == nullptr)
         panic("auditor: send for untracked block %llx",
@@ -54,7 +56,7 @@ TokenAuditor::onSend(Addr addr, int tokens, bool owner, bool has_data)
         b->ownerInFlight += 1;
     }
     ++_transfers;
-    check(addr);
+    checkLocked(addr);
 }
 
 void
@@ -62,6 +64,7 @@ TokenAuditor::onReceive(Addr addr, int tokens, bool owner)
 {
     if (!_enabled)
         return;
+    auto lock = _mu.lock();
     BlockInfo *b = find(addr);
     if (b == nullptr)
         panic("auditor: receive for untracked block %llx",
@@ -72,11 +75,11 @@ TokenAuditor::onReceive(Addr addr, int tokens, bool owner)
         b->ownerInFlight -= 1;
         b->ownerHeld += 1;
     }
-    check(addr);
+    checkLocked(addr);
 }
 
 void
-TokenAuditor::check(Addr addr) const
+TokenAuditor::checkLocked(Addr addr) const
 {
     if (!_enabled)
         return;
@@ -96,17 +99,41 @@ TokenAuditor::check(Addr addr) const
 }
 
 void
+TokenAuditor::check(Addr addr) const
+{
+    if (!_enabled)
+        return;
+    auto lock = _mu.lock();
+    checkLocked(addr);
+}
+
+void
 TokenAuditor::checkAll(bool expect_quiescent) const
 {
     if (!_enabled)
         return;
+    auto lock = _mu.lock();
     for (const auto &[addr, info] : _blocks) {
-        check(addr);
+        checkLocked(addr);
         if (expect_quiescent && info.inFlight != 0)
             panic("auditor: %d tokens in flight at quiescence "
                   "(block %llx)",
                   info.inFlight, static_cast<unsigned long long>(addr));
     }
+}
+
+std::size_t
+TokenAuditor::trackedBlocks() const
+{
+    auto lock = _mu.lock();
+    return _blocks.size();
+}
+
+std::uint64_t
+TokenAuditor::transfers() const
+{
+    auto lock = _mu.lock();
+    return _transfers;
 }
 
 } // namespace tokencmp

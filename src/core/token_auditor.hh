@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "sim/optional_mutex.hh"
 #include "sim/types.hh"
 
 namespace tokencmp {
@@ -33,6 +34,15 @@ class TokenAuditor
     {}
 
     bool enabled() const { return _enabled; }
+
+    /**
+     * Guard the shadow table with a mutex so controllers on
+     * concurrent shard domains may audit transfers. Every operation
+     * is a commutative transfer between the held/in-flight columns,
+     * so the invariants (and any violation) are independent of the
+     * locking order; serial runs leave this off and pay nothing.
+     */
+    void setThreadSafe(bool on) { _mu.enable(on); }
 
     /** Memory lazily creates a block's tokens (all T, owner, at mem). */
     void initBlock(Addr addr);
@@ -51,9 +61,9 @@ class TokenAuditor
     void checkAll(bool expect_quiescent = false) const;
 
     /** Number of blocks being tracked. */
-    std::size_t trackedBlocks() const { return _blocks.size(); }
+    std::size_t trackedBlocks() const;
 
-    std::uint64_t transfers() const { return _transfers; }
+    std::uint64_t transfers() const;
 
   private:
     struct BlockInfo
@@ -67,8 +77,13 @@ class TokenAuditor
     BlockInfo *find(Addr addr);
     const BlockInfo *find(Addr addr) const;
 
+    /** Lock held variant of check() (callers already own _mu). */
+    void checkLocked(Addr addr) const;
+
     int _total;
     bool _enabled;
+    /** Engaged only after setThreadSafe(true). */
+    OptionalMutex _mu;
     std::uint64_t _transfers = 0;
     std::unordered_map<Addr, BlockInfo> _blocks;
 };

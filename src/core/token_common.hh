@@ -10,6 +10,7 @@
 #ifndef TOKENCMP_CORE_TOKEN_COMMON_HH
 #define TOKENCMP_CORE_TOKEN_COMMON_HH
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -35,8 +36,25 @@ struct TokenGlobals
     BackingStore store;
 
     /** System-wide count of persistent requests issued (robustness
-     *  statistic: the paper reports < 0.3% of L1 misses). */
-    std::uint64_t persistentIssued = 0;
+     *  statistic: the paper reports < 0.3% of L1 misses). Atomic so
+     *  shard domains may bump it concurrently; the relaxed sum is
+     *  interleaving-independent. */
+    std::atomic<std::uint64_t> persistentIssued{0};
+
+    /**
+     * Prepare the globals for concurrent shard domains: lock the
+     * auditor and the functional store, and pre-size the persistent
+     * sequence table (each slot is then only ever touched by its own
+     * processor's L1I/L1D, which share a domain).
+     */
+    void
+    enableConcurrent(unsigned num_procs)
+    {
+        auditor.setThreadSafe(true);
+        store.setThreadSafe(true);
+        if (_prSeq.size() < num_procs)
+            _prSeq.resize(num_procs, 0);
+    }
 
     /**
      * Per-processor persistent-request sequence numbers. Shared by a

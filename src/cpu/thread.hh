@@ -14,6 +14,7 @@
 #ifndef TOKENCMP_CPU_THREAD_HH
 #define TOKENCMP_CPU_THREAD_HH
 
+#include <atomic>
 #include <cstdint>
 #include <utility>
 
@@ -49,6 +50,18 @@ class ThreadContext
 
     /** Re-seed this thread's private RNG (multi-seed methodology). */
     void reseed(std::uint64_t s) { _rng.reseed(s); }
+
+    /**
+     * Bump `counter` when this thread finishes. The System's run loop
+     * uses one shared counter as an O(1) completion check (one
+     * comparison per event or per shard window, instead of scanning
+     * every thread).
+     */
+    void
+    notifyOnFinish(std::atomic<std::uint32_t> *counter)
+    {
+        _finishCounter = counter;
+    }
 
   protected:
     /** Spend `dur` ticks of compute, then continue. */
@@ -115,6 +128,8 @@ class ThreadContext
     {
         _done = true;
         _finishTick = _ctx.now();
+        if (_finishCounter != nullptr)
+            _finishCounter->fetch_add(1, std::memory_order_relaxed);
     }
 
     SimContext &_ctx;
@@ -124,6 +139,7 @@ class ThreadContext
   private:
     bool _done = false;
     Tick _finishTick = 0;
+    std::atomic<std::uint32_t> *_finishCounter = nullptr;
 };
 
 } // namespace tokencmp

@@ -1,5 +1,6 @@
 #include "net/network.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "net/controller.hh"
@@ -27,9 +28,10 @@ DeliverEvent::process()
     // (later in (tick, seq) order), never append to a fired one.
     if (_net->_open[_dstIdx] == this)
         _net->_open[_dstIdx] = nullptr;
-    ++_net->_wakeups;
+    Network::DomainState &ds = _net->_dom[_domIdx];
+    ++ds.wakeups;
     for (const Msg &m : _msgs) {
-        --_net->_inFlight;
+        --ds.inFlight;
         _dst->handleMsg(m);
     }
     _msgs.clear();  // keeps capacity; release() treats leftovers as
@@ -42,33 +44,41 @@ DeliverEvent::release()
     // Released without firing (EventQueue::reset()/releaseAll()): the
     // messages never arrived, and the open-batch slot must not keep
     // pointing at a node about to be recycled.
-    _net->_inFlight -= _msgs.size();
+    Network::DomainState &ds = _net->_dom[_domIdx];
+    ds.inFlight -= _msgs.size();
     if (_net->_open[_dstIdx] == this)
         _net->_open[_dstIdx] = nullptr;
     _msgs.clear();
-    _net->_pool.recycle(this);
+    ds.pool.recycle(this);
 }
 
 Network::Network(EventQueue &eq, const Topology &topo,
                  const NetworkParams &params)
-    : _eq(eq), _topo(topo), _p(params)
+    : _topo(topo), _p(params)
 {
+    _eqs.assign(1, &eq);
     _controllers.assign(_topo.numControllers(), nullptr);
     _intraPorts.assign(_topo.numControllers(), Link{});
     _intraGateways.assign(_topo.numCmps, Link{});
     _interLinks.assign(_topo.numCmps * _topo.numCmps, Link{});
     _memLinks.assign(2 * _topo.numCmps, Link{});
     _open.assign(_topo.numControllers(), nullptr);
+    _dom = std::vector<DomainState>(1);
 }
 
 Network::~Network()
 {
-    // Pending DeliverEvents recycle into _pool, which dies with this
-    // object; clear the queue while the pool is still alive. This
-    // releases EVERY pending event (not just ours) — valid only
-    // because a Network and its EventQueue are torn down together
-    // (System declares the SimContext before the Network).
-    _eq.releaseAll();
+    // Pending DeliverEvents recycle into per-domain pools that die
+    // with this object; retire exactly our own events from every
+    // domain queue (other owners' events stay scheduled), so teardown
+    // no longer depends on the System destroying queue and network
+    // together.
+    auto mine = [this](const Event &e) {
+        const auto *d = dynamic_cast<const DeliverEvent *>(&e);
+        return d != nullptr && d->_net == this;
+    };
+    for (EventQueue *eq : _eqs)
+        eq->releaseAll(mine);
 }
 
 void
@@ -79,6 +89,25 @@ Network::registerController(Controller *c)
         panic("duplicate controller registration: %s",
               c->id().toString().c_str());
     _controllers[idx] = c;
+}
+
+void
+Network::shardByCmp(const std::vector<EventQueue *> &queues)
+{
+    if (queues.size() != _topo.numCmps)
+        panic("shardByCmp: %zu queues for %u CMPs", queues.size(),
+              _topo.numCmps);
+    if (queues.empty() || queues[0] != _eqs.front())
+        panic("shardByCmp: domain 0 must keep the construction queue");
+    if (totalMessages() != 0 || inFlight() != 0)
+        panic("shardByCmp after traffic started");
+    if (_p.interLatency == 0)
+        panic("sharded delivery needs a nonzero inter-CMP latency "
+              "(the conservative lookahead)");
+    _eqs = queues;
+    _dom = std::vector<DomainState>(_eqs.size());
+    _mail = std::vector<FlipMailbox<Handoff>>(_eqs.size() *
+                                              _eqs.size());
 }
 
 Tick
@@ -95,9 +124,10 @@ Network::traverse(Link &link, Tick earliest, Tick latency, double bpn,
 }
 
 void
-Network::account(NetLevel level, const Msg &msg)
+Network::account(NetLevel level, const Msg &msg, unsigned domain)
 {
-    _bytes[unsigned(level)][unsigned(msg.trafficClass())] += msg.size();
+    _dom[domain].bytes[unsigned(level)][unsigned(msg.trafficClass())] +=
+        msg.size();
 }
 
 void
@@ -111,58 +141,78 @@ Network::send(Msg msg, Tick sender_delay)
     const bool dst_is_mem = msg.dst.type == MachineType::Mem;
     const unsigned scmp = msg.src.cmp;
     const unsigned dcmp = msg.dst.cmp;
+    const unsigned sd = domainOf(scmp);
+    const unsigned dd = domainOf(dcmp);
 
-    Tick t = _eq.curTick() + sender_delay;
+    // The sender executes on its own domain; every link below except
+    // the remote-home memory ingress is source-owned.
+    Tick t = _eqs[sd]->curTick() + sender_delay;
     const unsigned sz = msg.size();
+    bool mem_ingress_pending = false;
 
     if (src_is_mem) {
         // Off the memory controller onto its CMP...
         t = traverse(_memLinks[2 * scmp + 1], t, _p.memLinkLatency,
                      _p.memLinkBytesPerNs, sz);
-        account(NetLevel::MemLink, msg);
+        account(NetLevel::MemLink, msg, sd);
         if (dst_is_mem)
             panic("memory-to-memory message");
         if (scmp != dcmp) {
             t = traverse(_interLinks[scmp * _topo.numCmps + dcmp], t,
                          _p.interLatency, _p.interBytesPerNs, sz);
-            account(NetLevel::Inter, msg);
+            account(NetLevel::Inter, msg, sd);
         } else {
             // Home CMP delivery crosses the on-chip network.
             t = traverse(_intraGateways[dcmp], t, _p.intraLatency,
                          _p.intraBytesPerNs, sz);
-            account(NetLevel::Intra, msg);
+            account(NetLevel::Intra, msg, sd);
         }
     } else if (dst_is_mem) {
         if (scmp != dcmp) {
             t = traverse(_interLinks[scmp * _topo.numCmps + dcmp], t,
                          _p.interLatency, _p.interBytesPerNs, sz);
-            account(NetLevel::Inter, msg);
+            account(NetLevel::Inter, msg, sd);
+            // The home memory ingress link belongs to the destination
+            // domain; in sharded mode the handoff's consumer finishes
+            // the traversal with its own link state.
+            mem_ingress_pending = sd != dd;
         } else {
             t = traverse(_intraPorts[_topo.globalIndex(msg.src)], t,
                          _p.intraLatency, _p.intraBytesPerNs, sz);
-            account(NetLevel::Intra, msg);
+            account(NetLevel::Intra, msg, sd);
         }
-        t = traverse(_memLinks[2 * dcmp], t, _p.memLinkLatency,
-                     _p.memLinkBytesPerNs, sz);
-        account(NetLevel::MemLink, msg);
+        if (!mem_ingress_pending) {
+            t = traverse(_memLinks[2 * dcmp], t, _p.memLinkLatency,
+                         _p.memLinkBytesPerNs, sz);
+            account(NetLevel::MemLink, msg, sd);
+        }
     } else if (scmp == dcmp) {
         // On-chip cache-to-cache hop.
         t = traverse(_intraPorts[_topo.globalIndex(msg.src)], t,
                      _p.intraLatency, _p.intraBytesPerNs, sz);
-        account(NetLevel::Intra, msg);
+        account(NetLevel::Intra, msg, sd);
     } else {
         // Cross-chip cache-to-cache: the 20 ns inter link subsumes the
         // chip interfaces (Table 3).
         t = traverse(_interLinks[scmp * _topo.numCmps + dcmp], t,
                      _p.interLatency, _p.interBytesPerNs, sz);
-        account(NetLevel::Inter, msg);
+        account(NetLevel::Inter, msg, sd);
     }
 
-    deliver(msg, t);
+    ++_dom[sd].totalMsgs;
+
+    if (sd != dd) {
+        _mailboxed.fetch_add(1, std::memory_order_relaxed);
+        _handoffsTotal.fetch_add(1, std::memory_order_relaxed);
+        mailbox(sd, dd).push(
+            Handoff{msg, t, mem_ingress_pending});
+        return;
+    }
+    deliverLocal(msg, t, dd);
 }
 
 void
-Network::deliver(const Msg &msg, Tick arrival)
+Network::deliverLocal(const Msg &msg, Tick arrival, unsigned domain)
 {
     const unsigned idx = _topo.globalIndex(msg.dst);
     Controller *dst = _controllers.at(idx);
@@ -170,8 +220,9 @@ Network::deliver(const Msg &msg, Tick arrival)
         panic("message to unregistered controller %s",
               msg.dst.toString().c_str());
 
-    ++_inFlight;
-    ++_totalMsgs;
+    DomainState &ds = _dom[domain];
+    EventQueue &eq = *_eqs[domain];
+    ++ds.inFlight;
 
     // Join the destination's open batch only when it targets the same
     // tick AND nothing was scheduled since its last append — then the
@@ -179,19 +230,99 @@ Network::deliver(const Msg &msg, Tick arrival)
     // from one wakeup is indistinguishable from per-message events.
     DeliverEvent *b = _open[idx];
     if (_p.batchDelivery && b != nullptr && b->scheduled() &&
-        b->when() == arrival && _eq.nextSeq() == b->seq() + 1) {
+        b->when() == arrival && eq.nextSeq() == b->seq() + 1) {
         b->_msgs.push_back(msg);
-        ++_batched;
+        ++ds.batched;
         return;
     }
 
-    b = _pool.acquire();
+    b = ds.pool.acquire();
     b->_net = this;
     b->_dst = dst;
     b->_dstIdx = idx;
+    b->_domIdx = domain;
     b->_msgs.push_back(msg);
-    _eq.scheduleEvent(b, arrival);
+    eq.scheduleEvent(b, arrival);
     _open[idx] = b;
+}
+
+Tick
+Network::flipMailboxes()
+{
+    Tick earliest = EventQueue::noTick;
+    for (FlipMailbox<Handoff> &mb : _mail) {
+        mb.flip();
+        for (const Handoff &h : mb.pending())
+            earliest = std::min(earliest, h.tick);
+    }
+    return earliest;
+}
+
+void
+Network::intakeMailboxes(unsigned domain)
+{
+    const unsigned n = numDomains();
+    for (unsigned src = 0; src < n; ++src) {
+        FlipMailbox<Handoff> &mb = mailbox(src, domain);
+        for (const Handoff &h : mb.pending()) {
+            Tick t = h.tick;
+            if (h.memIngress) {
+                const unsigned dcmp = h.msg.dst.cmp;
+                t = traverse(_memLinks[2 * dcmp], t,
+                             _p.memLinkLatency, _p.memLinkBytesPerNs,
+                             h.msg.size());
+                account(NetLevel::MemLink, h.msg, domain);
+            }
+            deliverLocal(h.msg, t, domain);
+            _mailboxed.fetch_sub(1, std::memory_order_relaxed);
+        }
+        mb.pending().clear();
+    }
+}
+
+std::uint64_t
+Network::inFlight() const
+{
+    std::uint64_t sum = _mailboxed.load(std::memory_order_relaxed);
+    for (const DomainState &d : _dom)
+        sum += d.inFlight;
+    return sum;
+}
+
+std::uint64_t
+Network::totalMessages() const
+{
+    std::uint64_t sum = 0;
+    for (const DomainState &d : _dom)
+        sum += d.totalMsgs;
+    return sum;
+}
+
+std::uint64_t
+Network::deliveryWakeups() const
+{
+    std::uint64_t sum = 0;
+    for (const DomainState &d : _dom)
+        sum += d.wakeups;
+    return sum;
+}
+
+std::uint64_t
+Network::batchedMessages() const
+{
+    std::uint64_t sum = 0;
+    for (const DomainState &d : _dom)
+        sum += d.batched;
+    return sum;
+}
+
+std::uint64_t
+Network::bytes(NetLevel level, TrafficClass cls) const
+{
+    std::uint64_t sum = 0;
+    for (const DomainState &d : _dom)
+        sum += d.bytes[unsigned(level)][unsigned(cls)];
+    return sum;
 }
 
 std::uint64_t
@@ -199,18 +330,21 @@ Network::bytesByLevel(NetLevel level) const
 {
     std::uint64_t sum = 0;
     for (unsigned c = 0; c < unsigned(TrafficClass::NumClasses); ++c)
-        sum += _bytes[unsigned(level)][c];
+        sum += bytes(level, TrafficClass(c));
     return sum;
 }
 
 void
 Network::clearStats()
 {
-    for (auto &lvl : _bytes)
-        lvl.fill(0);
-    _totalMsgs = 0;
-    _wakeups = 0;
-    _batched = 0;
+    for (DomainState &d : _dom) {
+        for (auto &lvl : d.bytes)
+            lvl.fill(0);
+        d.totalMsgs = 0;
+        d.wakeups = 0;
+        d.batched = 0;
+    }
+    _handoffsTotal.store(0, std::memory_order_relaxed);
 }
 
 } // namespace tokencmp

@@ -25,20 +25,38 @@
  * (tick, seq) delivery order — and therefore every simulation outcome —
  * is bit-identical to unbatched per-message delivery.
  *
+ * Sharded delivery (shardByCmp): when the System runs the sharded
+ * kernel, every CMP is a *domain* with its own EventQueue, and the
+ * network keeps one DomainState (delivery pool, open batches' side,
+ * traffic counters) per domain so domains share no mutable state
+ * inside a window. Same-domain messages deliver exactly as in serial
+ * mode; a cross-domain message is computed up to the point where it
+ * leaves its last source-owned link, then handed to the destination
+ * domain through a per-(src,dst) FlipMailbox. The destination drains
+ * its inboxes at the window boundary in canonical (source domain, send
+ * order) sequence and finishes any remaining destination-owned
+ * traversal (the home memory ingress link) with its own link state —
+ * so every link's occupancy is touched by exactly one domain and the
+ * execution is deterministic for any worker count. The minimum
+ * cross-domain latency (the inter-CMP link) is the sharded kernel's
+ * conservative lookahead.
+ *
  * The network also owns the Figure 7 traffic accounting: bytes per
- * (level, traffic class).
+ * (level, traffic class), kept per domain and summed on read.
  */
 
 #ifndef TOKENCMP_NET_NETWORK_HH
 #define TOKENCMP_NET_NETWORK_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "net/machine.hh"
 #include "net/message.hh"
 #include "sim/event_queue.hh"
+#include "sim/sharded_kernel.hh"
 #include "sim/types.hh"
 
 namespace tokencmp {
@@ -84,6 +102,7 @@ class DeliverEvent final : public Event
     Network *_net = nullptr;
     Controller *_dst = nullptr;
     unsigned _dstIdx = 0;
+    unsigned _domIdx = 0;  //!< owning delivery domain
     std::vector<Msg> _msgs;
 };
 
@@ -105,29 +124,71 @@ class Network
     void registerController(Controller *c);
 
     /**
+     * Enter sharded-delivery mode: domain d owns every controller of
+     * CMP d and delivers through `queues[d]`. Must be called before
+     * any traffic; `queues.size()` must equal the topology's CMP
+     * count and `queues[0]` must be the queue the network was
+     * constructed with.
+     */
+    void shardByCmp(const std::vector<EventQueue *> &queues);
+
+    /** True once shardByCmp() has installed per-CMP domains. */
+    bool sharded() const { return _eqs.size() > 1; }
+
+    unsigned numDomains() const { return unsigned(_eqs.size()); }
+
+    /**
+     * Minimum latency of any cross-domain path under the CMP-granular
+     * mapping: every such path enters an inter-CMP link first, so this
+     * is the inter latency — the safe conservative lookahead for the
+     * sharded kernel. (A mapping that split a CMP's crossbar across
+     * shards would be bounded by the 2 ns intra latency instead.)
+     */
+    Tick crossShardLookahead() const { return _p.interLatency; }
+
+    // -- Sharded-kernel hooks (see ShardedKernel::Hooks) -------------
+
+    /**
+     * Flip every cross-domain mailbox (single-threaded, at the window
+     * barrier) and return the earliest handoff tick now pending, or
+     * EventQueue::noTick when none. The returned tick is a lower
+     * bound on the handoff's final arrival.
+     */
+    Tick flipMailboxes();
+
+    /**
+     * Drain `domain`'s flipped inboxes in canonical (source domain,
+     * send order) sequence: finish destination-owned link traversal
+     * and enqueue the deliveries on the domain's queue.
+     */
+    void intakeMailboxes(unsigned domain);
+
+    /**
      * Send a message after `sender_delay` ticks of local processing
      * (the sender's tag/directory access latency).
      */
     void send(Msg msg, Tick sender_delay = 0);
 
     /** Messages currently in flight (for quiescence detection). */
-    std::uint64_t inFlight() const { return _inFlight; }
+    std::uint64_t inFlight() const;
 
     /** Total messages ever sent. */
-    std::uint64_t totalMessages() const { return _totalMsgs; }
+    std::uint64_t totalMessages() const;
 
     /** Delivery wakeups fired (<= totalMessages when batching). */
-    std::uint64_t deliveryWakeups() const { return _wakeups; }
+    std::uint64_t deliveryWakeups() const;
 
     /** Messages that rode an existing batch instead of a new event. */
-    std::uint64_t batchedMessages() const { return _batched; }
+    std::uint64_t batchedMessages() const;
+
+    /** Messages that crossed a shard mailbox (0 in serial mode). */
+    std::uint64_t handoffs() const
+    {
+        return _handoffsTotal.load(std::memory_order_relaxed);
+    }
 
     /** Bytes moved on a level for one traffic class. */
-    std::uint64_t
-    bytes(NetLevel level, TrafficClass cls) const
-    {
-        return _bytes[unsigned(level)][unsigned(cls)];
-    }
+    std::uint64_t bytes(NetLevel level, TrafficClass cls) const;
 
     /** Bytes moved on a level across all classes. */
     std::uint64_t bytesByLevel(NetLevel level) const;
@@ -136,7 +197,10 @@ class Network
     void clearStats();
 
     const Topology &topology() const { return _topo; }
-    EventQueue &eventQueue() { return _eq; }
+
+    /** Domain 0's queue (the construction queue; the only one in
+     *  serial mode). */
+    EventQueue &eventQueue() { return *_eqs.front(); }
 
   private:
     friend class DeliverEvent;
@@ -145,6 +209,30 @@ class Network
     struct Link
     {
         Tick nextFree = 0;
+    };
+
+    /** A message crossing a domain boundary. `tick` is when it left
+     *  the last source-owned link; `memIngress` marks the remaining
+     *  home-memory-link traversal the destination performs. */
+    struct Handoff
+    {
+        Msg msg;
+        Tick tick = 0;
+        bool memIngress = false;
+    };
+
+    /** Mutable delivery state owned by exactly one domain. */
+    struct DomainState
+    {
+        EventPool<DeliverEvent> pool;
+        std::uint64_t inFlight = 0;
+        std::uint64_t totalMsgs = 0;
+        std::uint64_t wakeups = 0;
+        std::uint64_t batched = 0;
+        std::array<std::array<std::uint64_t,
+                              unsigned(TrafficClass::NumClasses)>,
+                   unsigned(NetLevel::NumLevels)>
+            bytes{};
     };
 
     /**
@@ -160,10 +248,25 @@ class Network
     Tick traverse(Link &link, Tick earliest, Tick latency, double bpn,
                   unsigned bytes);
 
-    void account(NetLevel level, const Msg &msg);
-    void deliver(const Msg &msg, Tick arrival);
+    void account(NetLevel level, const Msg &msg, unsigned domain);
 
-    EventQueue &_eq;
+    /** Schedule delivery on `domain`'s queue (src == dst domain or
+     *  mailbox intake). */
+    void deliverLocal(const Msg &msg, Tick arrival, unsigned domain);
+
+    /** Domain that owns a controller (its CMP in sharded mode). */
+    unsigned
+    domainOf(unsigned cmp) const
+    {
+        return sharded() ? cmp : 0;
+    }
+
+    FlipMailbox<Handoff> &
+    mailbox(unsigned src, unsigned dst)
+    {
+        return _mail[src * numDomains() + dst];
+    }
+
     Topology _topo;
     NetworkParams _p;
 
@@ -175,16 +278,15 @@ class Network
 
     /** Latest still-open batch per destination controller. */
     std::vector<DeliverEvent *> _open;
-    EventPool<DeliverEvent> _pool;
 
-    std::uint64_t _inFlight = 0;
-    std::uint64_t _totalMsgs = 0;
-    std::uint64_t _wakeups = 0;
-    std::uint64_t _batched = 0;
-    std::array<std::array<std::uint64_t,
-                          unsigned(TrafficClass::NumClasses)>,
-               unsigned(NetLevel::NumLevels)>
-        _bytes{};
+    std::vector<EventQueue *> _eqs;   //!< per-domain queues ({&_eq} serial)
+    std::vector<DomainState> _dom;    //!< per-domain delivery state
+    std::vector<FlipMailbox<Handoff>> _mail;  //!< numDomains^2 channels
+
+    /** Handoffs pushed but not yet enqueued at a destination; relaxed
+     *  increments/decrements from domain workers, read at barriers. */
+    std::atomic<std::uint64_t> _mailboxed{0};
+    std::atomic<std::uint64_t> _handoffsTotal{0};
 };
 
 } // namespace tokencmp

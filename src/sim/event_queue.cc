@@ -285,6 +285,13 @@ EventQueue::peekNext()
     return _runq[_runqHead];
 }
 
+Tick
+EventQueue::frontier()
+{
+    Event *e = peekNext();
+    return e == nullptr ? noTick : e->when();
+}
+
 Event *
 EventQueue::popNext()
 {
@@ -367,6 +374,65 @@ EventQueue::releaseAll()
     _far.clear();
     if (_pending != 0)
         panic("releaseAll: %zu events unaccounted for", _pending);
+}
+
+void
+EventQueue::releaseAll(const std::function<bool(const Event &)> &mine)
+{
+    auto releaseOne = [this](Event *e) {
+        e->_sched = false;
+        e->_next = nullptr;
+        e->release();
+        --_pending;
+    };
+
+    // Run queue: compact survivors in place (order preserved).
+    std::size_t out = _runqHead;
+    for (std::size_t i = _runqHead; i < _runq.size(); ++i) {
+        if (mine(*_runq[i]))
+            releaseOne(_runq[i]);
+        else
+            _runq[out++] = _runq[i];
+    }
+    _runq.resize(out);
+    if (_runqHead == _runq.size()) {
+        _runq.clear();
+        _runqHead = 0;
+    }
+
+    // Wheel chains: relink survivors, keeping FIFO order per slot.
+    for (unsigned l = 0; l < numLevels; ++l) {
+        for (unsigned s = 0; s < numSlots; ++s) {
+            Chain &c = _wheel[l][s];
+            if (c.head == nullptr)
+                continue;
+            Chain kept;
+            for (Event *e = c.head; e != nullptr;) {
+                Event *next = e->_next;
+                e->_next = nullptr;
+                if (mine(*e))
+                    releaseOne(e);
+                else
+                    chainAppend(kept, e);
+                e = next;
+            }
+            c = kept;
+            if (kept.head == nullptr) {
+                _occ[l][s >> 6] &= ~(std::uint64_t(1) << (s & 63));
+            }
+        }
+    }
+
+    // Far heap: filter, then restore the heap property.
+    out = 0;
+    for (std::size_t i = 0; i < _far.size(); ++i) {
+        if (mine(*_far[i]))
+            releaseOne(_far[i]);
+        else
+            _far[out++] = _far[i];
+    }
+    _far.resize(out);
+    std::make_heap(_far.begin(), _far.end(), FarLater{});
 }
 
 void

@@ -109,6 +109,17 @@ class EventQueue
         scheduleAbs(_curTick + delay, std::forward<F>(f));
     }
 
+    /** Sentinel "no event pending" tick (all-ones). */
+    static constexpr Tick noTick = ~Tick(0);
+
+    /**
+     * Frontier of the queue: the tick of the earliest pending event,
+     * or `noTick` when the queue is empty. May stage internal state
+     * (like a run() would) but executes nothing; used by the sharded
+     * kernel's window coordinator to find the global next-event time.
+     */
+    Tick frontier();
+
     /** True if no events are pending. */
     bool empty() const { return _pending == 0; }
 
@@ -149,6 +160,15 @@ class EventQueue
      * event pools that are about to be destroyed.
      */
     void releaseAll();
+
+    /**
+     * Per-owner variant of releaseAll(): release only the pending
+     * events for which `mine` returns true, leaving every other event
+     * scheduled (relative order preserved). Lets an owner of pooled
+     * events (e.g. ~Network and its DeliverEvents) retire its own
+     * events without depending on whole-system teardown ordering.
+     */
+    void releaseAll(const std::function<bool(const Event &)> &mine);
 
     /**
      * Drop all pending events and reset the clock, the insertion

@@ -1,0 +1,119 @@
+#include "sim/sharded_kernel.hh"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace tokencmp {
+
+const char *
+outcomeName(ShardedKernel::Outcome o)
+{
+    switch (o) {
+      case ShardedKernel::Outcome::Stopped: return "stopped";
+      case ShardedKernel::Outcome::Drained: return "drained";
+      case ShardedKernel::Outcome::Horizon: return "horizon";
+    }
+    return "?";
+}
+
+ShardedKernel::ShardedKernel(std::vector<EventQueue *> queues,
+                             Tick lookahead, unsigned workers)
+    : _queues(std::move(queues)), _lookahead(lookahead),
+      _workers(std::clamp(workers, 1u, unsigned(_queues.size())))
+{
+    if (_queues.empty())
+        panic("ShardedKernel needs at least one shard");
+    if (_lookahead == 0)
+        panic("ShardedKernel lookahead must be >= 1 tick");
+    for (const EventQueue *q : _queues) {
+        if (q == nullptr)
+            panic("ShardedKernel given a null shard queue");
+    }
+}
+
+std::uint64_t
+ShardedKernel::executed() const
+{
+    std::uint64_t sum = 0;
+    for (const EventQueue *q : _queues)
+        sum += q->executed();
+    return sum;
+}
+
+void
+ShardedKernel::coordinate()
+{
+    // All workers are parked in the barrier: single-threaded section.
+    Tick f = _hooks.onBarrier ? _hooks.onBarrier() : EventQueue::noTick;
+    for (EventQueue *q : _queues)
+        f = std::min(f, q->frontier());
+
+    if (_hooks.stopRequested && _hooks.stopRequested()) {
+        _outcome = Outcome::Stopped;
+        _stop = true;
+        return;
+    }
+    if (f == EventQueue::noTick) {
+        _outcome = Outcome::Drained;
+        _stop = true;
+        return;
+    }
+    if (f > _horizon) {
+        _outcome = Outcome::Horizon;
+        _stop = true;
+        return;
+    }
+    // Jump straight to the window containing the global frontier;
+    // empty windows are never executed one by one.
+    _windowEnd = f - (f % _lookahead) + _lookahead;
+    ++_windows;
+}
+
+ShardedKernel::Outcome
+ShardedKernel::run(Tick horizon)
+{
+    _horizon = horizon;
+    _stop = false;
+    _outcome = Outcome::Drained;
+
+    struct Completion
+    {
+        ShardedKernel *k;
+        void operator()() noexcept { k->coordinate(); }
+    };
+    std::barrier<Completion> bar(std::ptrdiff_t(_workers),
+                                 Completion{this});
+
+    auto loop = [this, &bar](unsigned w) {
+        for (;;) {
+            // The completion step (coordinate()) runs when the last
+            // worker arrives; the barrier orders its writes before
+            // every worker's reads below.
+            bar.arrive_and_wait();
+            if (_stop)
+                return;
+            // Events beyond the caller's horizon must not run even
+            // when the window itself straddles it.
+            const Tick bound = std::min(_windowEnd - 1, _horizon);
+            for (unsigned s = w; s < numShards(); s += _workers) {
+                if (_hooks.intake)
+                    _hooks.intake(s);
+                _queues[s]->run(bound);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(_workers - 1);
+    for (unsigned w = 1; w < _workers; ++w)
+        pool.emplace_back(loop, w);
+    loop(0);
+    for (std::thread &t : pool)
+        t.join();
+    return _outcome;
+}
+
+} // namespace tokencmp

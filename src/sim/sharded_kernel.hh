@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Sharded parallel event kernel: conservative lookahead windows over
+ * per-shard EventQueues.
+ *
+ * The simulation is partitioned into S *shards*, each owning one
+ * EventQueue (and whatever model state schedules onto it). Shards
+ * advance in lock-step windows of `lookahead` ticks, the classic
+ * conservative-PDES null-message-free synchronization: because every
+ * cross-shard interaction is a message whose delivery latency is at
+ * least `lookahead` (the minimum cross-shard link latency — 2 ns when
+ * a CMP's on-chip crossbar is split across shards, 20 ns for the
+ * CMP-granularity mapping the System uses), a shard executing window
+ * [W, W+L) can never receive an event for a tick it has already
+ * passed. Within a window the shards share nothing, so any number of
+ * worker threads may execute them in any order.
+ *
+ * Cross-shard traffic travels through FlipMailbox channels: each
+ * (src, dst) pair owns a single-producer single-consumer buffer the
+ * producer fills during a window and the coordinator flips at the
+ * barrier; the consumer drains the flipped side — in a canonical
+ * (source shard, send order) sequence — before running its next
+ * window. All cross-thread handover happens at the barrier, which
+ * makes the execution *deterministic by construction*: for a fixed
+ * seed, the event orders, clocks and statistics are bit-identical for
+ * every worker count and every thread interleaving. Epoch/frontier
+ * bookkeeping (in the spirit of timestamp-token frontier tracking)
+ * lets the coordinator jump idle stretches: the next window starts at
+ * the minimum of all shard frontiers and pending mailbox arrivals.
+ */
+
+#ifndef TOKENCMP_SIM_SHARDED_KERNEL_HH
+#define TOKENCMP_SIM_SHARDED_KERNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace tokencmp {
+
+/**
+ * Single-producer single-consumer handoff buffer for one directed
+ * shard pair, synchronized purely by the window barrier: the producer
+ * appends during a window, the coordinator flips sides at the barrier
+ * (single-threaded, so it needs no atomics), and the consumer drains
+ * the flipped side before its next window. Capacity survives rounds,
+ * so steady-state handoff performs no allocation.
+ */
+template <typename T>
+class FlipMailbox
+{
+  public:
+    /** Producer side: append one item (during a window). */
+    void push(T v) { _fill.push_back(std::move(v)); }
+
+    /** Coordinator side: expose this round's items to the consumer.
+     *  If the previous round's items were never drained (a run stopped
+     *  between flip and intake), the new items append behind them, so
+     *  per-pair FIFO order survives a stop/resume. */
+    void
+    flip()
+    {
+        if (_drain.empty()) {
+            std::swap(_fill, _drain);
+        } else {
+            _drain.insert(_drain.end(),
+                          std::make_move_iterator(_fill.begin()),
+                          std::make_move_iterator(_fill.end()));
+            _fill.clear();
+        }
+    }
+
+    /** Consumer side: items flipped at the last barrier. The consumer
+     *  clears the vector once the items are enqueued. */
+    std::vector<T> &pending() { return _drain; }
+
+    /** Items the producer has buffered for the next flip. */
+    std::size_t filled() const { return _fill.size(); }
+
+  private:
+    std::vector<T> _fill;
+    std::vector<T> _drain;
+};
+
+/**
+ * Lock-step window executor over per-shard EventQueues.
+ *
+ * The kernel does not know what a "message" is; model code supplies
+ * three hooks:
+ *
+ *  - onBarrier: runs single-threaded at every window boundary (all
+ *    workers parked). Flips the model's mailboxes and returns the
+ *    earliest arrival tick among the flipped-but-not-yet-enqueued
+ *    handoffs (EventQueue::noTick when there are none). A conservative
+ *    lower bound is fine: an empty window just costs one extra round.
+ *  - intake: runs on the owning worker before each shard executes a
+ *    window; enqueues the shard's flipped handoffs into its queue.
+ *  - stopRequested: polled at each barrier; when it returns true the
+ *    run stops with Outcome::Stopped (used by the System's
+ *    finish-counter completion check, O(1) per window).
+ */
+class ShardedKernel
+{
+  public:
+    /** Why run() returned. */
+    enum class Outcome {
+        Stopped,  //!< stopRequested() returned true at a barrier
+        Drained,  //!< every queue empty and no pending handoffs
+        Horizon,  //!< the global frontier moved past the horizon
+    };
+
+    struct Hooks
+    {
+        std::function<Tick()> onBarrier;
+        std::function<void(unsigned shard)> intake;
+        std::function<bool()> stopRequested;
+    };
+
+    /**
+     * @param queues    one EventQueue per shard (not owned)
+     * @param lookahead window length; must not exceed the minimum
+     *                  cross-shard latency (must be >= 1)
+     * @param workers   worker threads; clamped to [1, #shards]. The
+     *                  calling thread is worker 0.
+     */
+    ShardedKernel(std::vector<EventQueue *> queues, Tick lookahead,
+                  unsigned workers);
+
+    ShardedKernel(const ShardedKernel &) = delete;
+    ShardedKernel &operator=(const ShardedKernel &) = delete;
+
+    void setHooks(Hooks hooks) { _hooks = std::move(hooks); }
+
+    /** Replace just the stop condition (e.g. for a drain phase). */
+    void
+    setStopRequested(std::function<bool()> stop)
+    {
+        _hooks.stopRequested = std::move(stop);
+    }
+
+    /**
+     * Execute windows until a stop request, a global drain, or the
+     * first frontier beyond `horizon`. May be called repeatedly; each
+     * call spawns and joins its worker threads.
+     */
+    Outcome run(Tick horizon = EventQueue::noTick);
+
+    unsigned numShards() const { return unsigned(_queues.size()); }
+    unsigned workers() const { return _workers; }
+    Tick lookahead() const { return _lookahead; }
+
+    /** Window rounds executed across all run() calls. */
+    std::uint64_t windows() const { return _windows; }
+
+    /** Events executed across all shards. */
+    std::uint64_t executed() const;
+
+  private:
+    void coordinate();            //!< barrier completion step
+    void workerLoop(unsigned w);  //!< per-worker window loop
+
+    std::vector<EventQueue *> _queues;
+    Tick _lookahead;
+    unsigned _workers;
+    Hooks _hooks;
+
+    // Window state, written by coordinate() between barriers and read
+    // by the workers after it (the barrier orders both).
+    Tick _horizon = EventQueue::noTick;
+    Tick _windowEnd = 0;
+    bool _stop = false;
+    Outcome _outcome = Outcome::Drained;
+    std::uint64_t _windows = 0;
+};
+
+/** Printable outcome name. */
+const char *outcomeName(ShardedKernel::Outcome o);
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_SIM_SHARDED_KERNEL_HH

@@ -66,6 +66,19 @@ struct SystemConfig
     SchedulerKind scheduler = SchedulerKind::TimingWheel;
 
     /**
+     * Worker threads for the sharded parallel kernel. 0 (default)
+     * runs the classic serial kernel. Any value >= 1 partitions the
+     * machine into one shard per CMP — each with its own EventQueue,
+     * RNG and network-link state — advanced in lock-step conservative
+     * lookahead windows by min(shards, numCmps) worker threads. For a
+     * fixed seed the sharded run is bit-identical for every worker
+     * count (the shard decomposition is fixed; `shards` only chooses
+     * how many threads drive it). PerfectL2 cannot run sharded (its
+     * magic L2 bypasses the network).
+     */
+    unsigned shards = 0;
+
+    /**
      * Keep the caller's hand-set token policy instead of the Table 1
      * preset implied by `protocol` (for ablations sweeping individual
      * policy knobs).

@@ -21,18 +21,26 @@ class TokenFamily : public ProtocolBuilder
     build(System &sys) override
     {
         const SystemConfig &cfg = sys.config();
-        SimContext &ctx = sys.context();
-        const Topology &t = ctx.topo;
+        const Topology &t = sys.config().topo;
         _globals = std::make_unique<TokenGlobals>(cfg.token, cfg.audit);
+        if (cfg.shards > 0) {
+            // Shard domains mutate the globals concurrently: guard the
+            // auditor and functional memory, and pre-size the
+            // per-processor persistent-sequence table so lookups never
+            // reallocate it.
+            _globals->enableConcurrent(t.numProcs());
+        }
 
+        // Each controller runs in its CMP's execution domain (one
+        // shared domain in serial mode).
         for (unsigned c = 0; c < t.numCmps; ++c) {
             for (unsigned p = 0; p < t.procsPerCmp; ++p) {
                 auto d = std::make_unique<TokenL1>(
-                    ctx, t.l1d(c, p), *_globals, cfg.l1Bytes,
-                    cfg.l1Assoc);
+                    sys.contextFor(t.l1d(c, p)), t.l1d(c, p),
+                    *_globals, cfg.l1Bytes, cfg.l1Assoc);
                 auto i = std::make_unique<TokenL1>(
-                    ctx, t.l1i(c, p), *_globals, cfg.l1Bytes,
-                    cfg.l1Assoc);
+                    sys.contextFor(t.l1i(c, p)), t.l1i(c, p),
+                    *_globals, cfg.l1Bytes, cfg.l1Assoc);
                 _l1s.push_back(d.get());
                 _l1s.push_back(i.get());
                 sys.sequencer(t.procIdOf(t.l1d(c, p)))
@@ -42,13 +50,13 @@ class TokenFamily : public ProtocolBuilder
             }
             for (unsigned b = 0; b < t.l2BanksPerCmp; ++b) {
                 auto l2 = std::make_unique<TokenL2>(
-                    ctx, t.l2(c, b), *_globals, cfg.l2BankBytes,
-                    cfg.l2Assoc);
+                    sys.contextFor(t.l2(c, b)), t.l2(c, b), *_globals,
+                    cfg.l2BankBytes, cfg.l2Assoc);
                 _l2s.push_back(l2.get());
                 sys.adopt(std::move(l2));
             }
-            auto mem =
-                std::make_unique<TokenMem>(ctx, t.mem(c), *_globals);
+            auto mem = std::make_unique<TokenMem>(
+                sys.contextFor(t.mem(c)), t.mem(c), *_globals);
             _mems.push_back(mem.get());
             sys.adopt(std::move(mem));
         }

@@ -3,20 +3,49 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/sharded_kernel.hh"
 
 namespace tokencmp {
 
 System::System(const SystemConfig &cfg) : _cfg(cfg)
 {
     _cfg.finalize();
-    _ctx.eventq.setKind(_cfg.scheduler);
-    _ctx.topo = _cfg.topo;
-    _ctx.rng.reseed(_cfg.seed * 0x9e3779b97f4a7c15ull + 12345);
-    _net = std::make_unique<Network>(_ctx.eventq, _ctx.topo, _cfg.net);
-    _ctx.net = _net.get();
+    const bool sharded = _cfg.shards > 0;
+    if (sharded && _cfg.protocol == Protocol::PerfectL2) {
+        panic("PerfectL2's magic shared L2 bypasses the network; "
+              "it cannot run on the sharded kernel");
+    }
 
-    for (unsigned p = 0; p < _ctx.topo.numProcs(); ++p)
-        _sequencers.push_back(std::make_unique<Sequencer>(_ctx, p));
+    // One execution domain per CMP when sharded; the shard count is
+    // fixed by the topology so results are independent of how many
+    // worker threads (cfg.shards) drive the domains.
+    const unsigned domains = sharded ? _cfg.topo.numCmps : 1;
+    for (unsigned d = 0; d < domains; ++d) {
+        auto ctx = std::make_unique<SimContext>();
+        ctx->eventq.setKind(_cfg.scheduler);
+        ctx->topo = _cfg.topo;
+        // d == 0 reproduces the serial seeding exactly.
+        ctx->rng.reseed(_cfg.seed * 0x9e3779b97f4a7c15ull + 12345 +
+                        d * 0x6a09e667f3bcc909ull);
+        _ctxs.push_back(std::move(ctx));
+    }
+
+    _net = std::make_unique<Network>(_ctxs.front()->eventq, _cfg.topo,
+                                     _cfg.net);
+    if (sharded) {
+        std::vector<EventQueue *> queues;
+        queues.reserve(_ctxs.size());
+        for (auto &ctx : _ctxs)
+            queues.push_back(&ctx->eventq);
+        _net->shardByCmp(queues);
+    }
+    for (auto &ctx : _ctxs)
+        ctx->net = _net.get();
+
+    for (unsigned p = 0; p < _cfg.topo.numProcs(); ++p) {
+        _sequencers.push_back(
+            std::make_unique<Sequencer>(contextForProc(p), p));
+    }
 
     _proto = ProtocolRegistry::instance().create(_cfg.protocol);
     _proto->build(*this);
@@ -66,32 +95,66 @@ System::harvest(StatSet &out) const
     _proto->harvest(out);
 }
 
+bool
+System::runSharded(unsigned num_threads, Tick horizon)
+{
+    // num_threads == 0 is the drain phase: no stop condition, run
+    // windows until every queue and mailbox empties (or the bounded
+    // horizon passes). Mailboxes flipped-but-undrained at a stop
+    // carry over (FlipMailbox::flip appends behind leftovers).
+    std::vector<EventQueue *> queues;
+    queues.reserve(_ctxs.size());
+    for (auto &ctx : _ctxs)
+        queues.push_back(&ctx->eventq);
+
+    ShardedKernel kernel(queues, _net->crossShardLookahead(),
+                         _cfg.shards);
+    ShardedKernel::Hooks hooks;
+    hooks.onBarrier = [this]() { return _net->flipMailboxes(); };
+    hooks.intake = [this](unsigned d) { _net->intakeMailboxes(d); };
+    if (num_threads > 0) {
+        hooks.stopRequested = [this, num_threads]() {
+            return _finished.load(std::memory_order_relaxed) >=
+                   num_threads;
+        };
+    }
+    kernel.setHooks(std::move(hooks));
+    return kernel.run(horizon) == ShardedKernel::Outcome::Stopped;
+}
+
 System::RunResult
 System::run(Workload &workload, Tick horizon)
 {
-    const unsigned n = _ctx.topo.numProcs();
+    const unsigned n = _cfg.topo.numProcs();
     std::vector<std::unique_ptr<ThreadContext>> threads;
     threads.reserve(n);
     for (unsigned p = 0; p < n; ++p) {
         threads.push_back(workload.makeThread(
-            _ctx, sequencer(p), n,
+            contextForProc(p), sequencer(p), n,
             _cfg.seed * 7919 + p * 104729 + 1));
     }
-    for (auto &th : threads) {
-        ThreadContext *raw = th.get();
-        _ctx.eventq.schedule(0, [raw]() { raw->start(); });
+    _finished.store(0, std::memory_order_relaxed);
+    for (unsigned p = 0; p < n; ++p) {
+        ThreadContext *raw = threads[p].get();
+        raw->notifyOnFinish(&_finished);
+        contextForProc(p).eventq.schedule(0, [raw]() { raw->start(); });
     }
 
-    auto all_done = [&threads]() {
-        for (const auto &th : threads) {
-            if (!th->done())
-                return false;
-        }
-        return true;
-    };
-
     RunResult res;
-    res.completed = _ctx.eventq.runUntil(all_done, horizon);
+    if (_ctxs.size() == 1) {
+        // Completion is a finish-counter comparison — O(1) per event
+        // instead of scanning every thread after every event.
+        auto all_done = [this, n]() {
+            return _finished.load(std::memory_order_relaxed) >= n;
+        };
+        res.completed = context().eventq.runUntil(all_done, horizon);
+    } else {
+        res.completed = runSharded(n, horizon);
+    }
+
+    // Runtime comes from the finish ticks as of the completion check
+    // (before the drain below, which may retire further threads in
+    // horizon-truncated runs).
     for (const auto &th : threads)
         res.runtime = std::max(res.runtime, th->finishTick());
     // Exclude any cache-warming phase from the reported runtime.
@@ -99,7 +162,14 @@ System::run(Workload &workload, Tick horizon)
     res.runtime -= std::min(res.runtime, measure_start);
 
     // Drain in-flight protocol traffic, then verify quiescence.
-    _ctx.eventq.run(_ctx.eventq.curTick() + ns(1000000));
+    if (_ctxs.size() == 1) {
+        context().eventq.run(context().eventq.curTick() + ns(1000000));
+    } else {
+        Tick cur = 0;
+        for (auto &ctx : _ctxs)
+            cur = std::max(cur, ctx->eventq.curTick());
+        runSharded(0, cur + ns(1000000));
+    }
     if (res.completed)
         _proto->verifyQuiescent(true);
 

@@ -20,6 +20,7 @@
 #ifndef TOKENCMP_SYSTEM_SYSTEM_HH
 #define TOKENCMP_SYSTEM_SYSTEM_HH
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -111,10 +112,37 @@ class System
      * Run a workload to completion (or `horizon` ticks) and gather
      * statistics. The system is single-use: build a fresh System for
      * each run.
+     *
+     * With `cfg.shards == 0` this drives the classic serial kernel;
+     * otherwise it drives the sharded kernel: one shard per CMP in
+     * lock-step conservative-lookahead windows, completion detected
+     * by a finish-counter checked once per window barrier.
      */
     RunResult run(Workload &workload, Tick horizon = ns(500000000));
 
-    SimContext &context() { return _ctx; }
+    /** Domain 0's context (the only one in serial mode). */
+    SimContext &context() { return *_ctxs.front(); }
+
+    /** Execution domains: 1 serial, numCmps sharded. */
+    unsigned numDomains() const { return unsigned(_ctxs.size()); }
+
+    /** The context a controller at `id` must run in (its CMP's
+     *  domain in sharded mode); protocol builders construct each
+     *  controller against this. */
+    SimContext &
+    contextFor(const MachineID &id)
+    {
+        return *_ctxs[_ctxs.size() > 1 ? id.cmp : 0];
+    }
+
+    /** The context processor `proc`'s sequencer and thread run in. */
+    SimContext &
+    contextForProc(unsigned proc)
+    {
+        return *_ctxs[_ctxs.size() > 1 ? proc / _cfg.topo.procsPerCmp
+                                       : 0];
+    }
+
     const SystemConfig &config() const { return _cfg; }
     Sequencer &sequencer(unsigned proc) { return *_sequencers.at(proc); }
 
@@ -130,7 +158,7 @@ class System
     controller(unsigned cmp, unsigned idx = 0, bool icache = false)
     {
         return dynamic_cast<C *>(controllerAt(
-            detail::ControllerKey<C>::id(_ctx.topo, cmp, idx, icache)));
+            detail::ControllerKey<C>::id(_cfg.topo, cmp, idx, icache)));
     }
 
     /** Untyped lookup by machine identity (nullptr if absent). */
@@ -147,10 +175,20 @@ class System
   private:
     void harvest(StatSet &out) const;
 
+    /**
+     * Window-barrier loop for sharded runs. With `num_threads > 0`
+     * it runs until all threads finish (returns true) or the horizon
+     * passes; with 0 it is the bounded post-run drain phase.
+     */
+    bool runSharded(unsigned num_threads, Tick horizon);
+
     SystemConfig _cfg;
-    SimContext _ctx;
+    std::vector<std::unique_ptr<SimContext>> _ctxs;
     std::unique_ptr<Network> _net;
     std::unique_ptr<ProtocolBuilder> _proto;
+
+    /** Threads finished so far (the O(1) completion predicate). */
+    std::atomic<std::uint32_t> _finished{0};
 
     std::vector<std::unique_ptr<Controller>> _controllers;
     std::vector<std::unique_ptr<Sequencer>> _sequencers;

@@ -117,6 +117,8 @@ BarrierWorkload::makeThread(SimContext &ctx, Sequencer &seq,
 void
 BarrierWorkload::notePhase(unsigned proc, unsigned phase)
 {
+    // Threads on concurrent shard domains report through this hook.
+    std::lock_guard<std::mutex> guard(_mu);
     if (_phaseOf.size() <= proc)
         _phaseOf.resize(proc + 1, 0);
     _phaseOf[proc] = phase;

@@ -12,6 +12,7 @@
 #ifndef TOKENCMP_WORKLOAD_BARRIER_HH
 #define TOKENCMP_WORKLOAD_BARRIER_HH
 
+#include <mutex>
 #include <vector>
 
 #include "workload/workload.hh"
@@ -64,6 +65,8 @@ class BarrierWorkload : public Workload
 
   private:
     BarrierParams _p;
+    /** Guards the checker state against concurrent shard domains. */
+    std::mutex _mu;
     std::vector<unsigned> _phaseOf;
     unsigned _minPhase = 0;
     std::uint64_t _violations = 0;

@@ -116,6 +116,11 @@ LockingWorkload::makeThread(SimContext &ctx, Sequencer &seq,
 void
 LockingWorkload::noteAcquire(unsigned lock, unsigned proc)
 {
+    // Threads on concurrent shard domains report through these hooks;
+    // a correct protocol separates conflicting acquire/release pairs
+    // by at least one cross-CMP hop (>= the shard lookahead), so the
+    // mutex only guards the map's structure, never the verdict.
+    std::lock_guard<std::mutex> guard(_mu);
     ++_totalAcquires;
     auto it = _holder.find(lock);
     if (it != _holder.end())
@@ -126,6 +131,7 @@ LockingWorkload::noteAcquire(unsigned lock, unsigned proc)
 void
 LockingWorkload::noteRelease(unsigned lock, unsigned proc)
 {
+    std::lock_guard<std::mutex> guard(_mu);
     auto it = _holder.find(lock);
     if (it == _holder.end() || it->second != proc)
         ++_violations;

@@ -14,6 +14,7 @@
 #ifndef TOKENCMP_WORKLOAD_LOCKING_HH
 #define TOKENCMP_WORKLOAD_LOCKING_HH
 
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +70,7 @@ class LockingWorkload : public Workload
     void
     noteWarmupDone(Tick when)
     {
+        std::lock_guard<std::mutex> guard(_mu);
         _measureStart = std::max(_measureStart, when);
     }
 
@@ -86,6 +88,8 @@ class LockingWorkload : public Workload
 
   private:
     LockingParams _p;
+    /** Guards the checker state against concurrent shard domains. */
+    std::mutex _mu;
     std::unordered_map<unsigned, unsigned> _holder;
     std::uint64_t _violations = 0;
     std::uint64_t _totalAcquires = 0;

@@ -268,6 +268,95 @@ TEST(EventQueue, ReleaseAllReturnsPendingEventsToPools)
     eq.run();
 }
 
+TEST(EventQueue, FrontierReportsNextTickWithoutExecuting)
+{
+    for (SchedulerKind kind :
+         {SchedulerKind::TimingWheel, SchedulerKind::ReferenceHeap}) {
+        EventQueue eq(kind);
+        EXPECT_EQ(eq.frontier(), EventQueue::noTick);
+        int fired = 0;
+        eq.schedule(ns(5000), [&]() { ++fired; });
+        eq.schedule(ns(3), [&]() { ++fired; });
+        EXPECT_EQ(eq.frontier(), ns(3));
+        EXPECT_EQ(fired, 0);
+        EXPECT_EQ(eq.size(), 2u);
+        // A horizon-bounded run consumes the near event; the frontier
+        // then reports the far one (staged state notwithstanding).
+        eq.run(ns(10));
+        EXPECT_EQ(fired, 1);
+        EXPECT_EQ(eq.frontier(), ns(5000));
+        // An insertion below the staged position is still the frontier.
+        eq.schedule(ns(2), [&]() { ++fired; });
+        EXPECT_EQ(eq.frontier(), eq.curTick() + ns(2));
+        eq.run();
+        EXPECT_EQ(fired, 3);
+        EXPECT_EQ(eq.frontier(), EventQueue::noTick);
+    }
+}
+
+namespace {
+
+/** Pooled event tagged with an owner cookie, for releaseAll(pred). */
+class TaggedEvent final : public Event
+{
+  public:
+    void process() override { ++processed; }
+    void
+    release() override
+    {
+        ++released;
+        pool->recycle(this);
+    }
+
+    int owner = 0;
+    int processed = 0;
+    int released = 0;
+    EventPool<TaggedEvent> *pool = nullptr;
+};
+
+} // namespace
+
+TEST(EventQueue, PerOwnerReleaseLeavesOtherEventsScheduled)
+{
+    for (SchedulerKind kind :
+         {SchedulerKind::TimingWheel, SchedulerKind::ReferenceHeap}) {
+        EventQueue eq(kind);
+        EventPool<TaggedEvent> pool;
+        Random rng(99);
+        std::vector<TaggedEvent *> events;
+        // Spread events across the runq/wheel/far-heap stores: near,
+        // mid, and beyond-wheel ticks, two interleaved owners.
+        for (int i = 0; i < 200; ++i) {
+            TaggedEvent *e = pool.acquire();
+            e->owner = i % 2;
+            e->pool = &pool;
+            e->processed = e->released = 0;
+            events.push_back(e);
+            const Tick when = rng.uniform(3) == 0
+                                  ? ns(40000000) + Tick(i)  // far heap
+                                  : Tick(rng.uniform(ns(2000)));
+            eq.scheduleEvent(e, when);
+        }
+        EXPECT_EQ(eq.size(), 200u);
+
+        // Retire owner 0's events only.
+        eq.releaseAll([](const Event &e) {
+            return static_cast<const TaggedEvent &>(e).owner == 0;
+        });
+        EXPECT_EQ(eq.size(), 100u);
+
+        eq.run();
+        for (const TaggedEvent *e : events) {
+            if (e->owner == 0) {
+                EXPECT_EQ(e->processed, 0);
+                EXPECT_EQ(e->released, 1);
+            } else {
+                EXPECT_EQ(e->processed, 1);
+            }
+        }
+    }
+}
+
 TEST(SmallFunction, InlineAndHeapTargetsBehaveIdentically)
 {
     SmallFunction<int(int), 16> small = [](int x) { return x + 1; };

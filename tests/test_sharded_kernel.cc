@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Sharded-kernel determinism battery.
+ *
+ * Kernel level: randomized actor networks exchanging cross-shard
+ * pings through FlipMailbox channels must produce bit-identical
+ * per-shard execution traces for every worker count, and the mailbox
+ * machinery must deliver every handoff exactly once, at exactly its
+ * arrival tick, in canonical (source shard, send order) sequence at
+ * window boundaries.
+ *
+ * System level: fixed-seed full-machine runs (token and directory
+ * protocols) must produce bit-identical statistics for every
+ * `shards` worker count, with the serial ReferenceHeap kernel as the
+ * ordering oracle for the sharded wheel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/sharded_kernel.hh"
+#include "test_util.hh"
+#include "workload/synthetic.hh"
+
+namespace tokencmp::test {
+namespace {
+
+// ---------------------------------------------------------------------
+// Kernel-level toy simulation: actors + cross-shard pings
+// ---------------------------------------------------------------------
+
+struct Ping
+{
+    Tick arrival = 0;
+    unsigned srcShard = 0;
+    std::uint64_t srcSeq = 0;  //!< per-(src,dst) send order
+    std::uint64_t payload = 0;
+};
+
+struct TraceEntry
+{
+    Tick tick = 0;
+    std::uint64_t payload = 0;
+
+    bool
+    operator==(const TraceEntry &o) const
+    {
+        return tick == o.tick && payload == o.payload;
+    }
+};
+
+/**
+ * A toy sharded simulation: every shard runs self-rescheduling actor
+ * chains; a pseudo-random subset of hops sends a ping to another
+ * shard, arriving `crossLatency` later. Ping handlers append to the
+ * destination shard's trace and occasionally reply. All state is
+ * per-shard; mailboxes are the only cross-shard channel.
+ */
+class ToySim
+{
+  public:
+    static constexpr Tick lookahead = ns(2);
+    static constexpr Tick crossLatency = ns(2);  //!< == lookahead
+
+    ToySim(unsigned shards, unsigned chains, std::uint64_t hops,
+           std::uint64_t seed)
+        : _shards(shards), _hops(hops)
+    {
+        for (unsigned s = 0; s < shards; ++s)
+            _queues.push_back(std::make_unique<EventQueue>());
+        _state.resize(shards);
+        _mail.resize(shards * shards);
+        for (unsigned s = 0; s < shards; ++s) {
+            _state[s].rng.reseed(seed * 977 + s);
+            for (unsigned c = 0; c < chains; ++c)
+                scheduleHop(s, ns(1) + c * 17);
+        }
+    }
+
+    void
+    run(unsigned workers)
+    {
+        ShardedKernel kernel(queuePtrs(), lookahead, workers);
+        ShardedKernel::Hooks hooks;
+        hooks.onBarrier = [this]() { return flip(); };
+        hooks.intake = [this](unsigned s) { intake(s); };
+        kernel.setHooks(std::move(hooks));
+        ASSERT_EQ(kernel.run(), ShardedKernel::Outcome::Drained);
+        _windows = kernel.windows();
+    }
+
+    const std::vector<TraceEntry> &trace(unsigned s) const
+    {
+        return _state[s].trace;
+    }
+
+    std::uint64_t pingsSent() const
+    {
+        std::uint64_t n = 0;
+        for (const Shard &st : _state)
+            n += st.pingsSent;
+        return n;
+    }
+
+    std::uint64_t pingsReceived() const
+    {
+        std::uint64_t n = 0;
+        for (const Shard &st : _state)
+            n += st.pingsReceived;
+        return n;
+    }
+
+    std::uint64_t windows() const { return _windows; }
+
+  private:
+    struct Shard
+    {
+        Random rng{1};
+        std::uint64_t hopCount = 0;
+        std::uint64_t pingsSent = 0;
+        std::uint64_t pingsReceived = 0;
+        std::vector<std::uint64_t> sendSeq;  //!< per destination
+        std::vector<std::uint64_t> lastSeqAt; //!< per source, ordering
+        std::vector<Tick> lastTickFrom;       //!< per source, ordering
+        std::vector<TraceEntry> trace;
+    };
+
+    std::vector<EventQueue *>
+    queuePtrs()
+    {
+        std::vector<EventQueue *> qs;
+        for (auto &q : _queues)
+            qs.push_back(q.get());
+        return qs;
+    }
+
+    void
+    scheduleHop(unsigned s, Tick delay)
+    {
+        _queues[s]->schedule(delay, [this, s]() { hop(s); });
+    }
+
+    void
+    hop(unsigned s)
+    {
+        Shard &st = _state[s];
+        if (++st.hopCount > _hops)
+            return;
+        st.trace.push_back({_queues[s]->curTick(), st.hopCount});
+        // A third of hops ping another shard.
+        if (_shards > 1 && st.rng.chance(1.0 / 3.0)) {
+            const auto d = unsigned(st.rng.uniform(_shards - 1));
+            const unsigned dst = d >= s ? d + 1 : d;
+            st.sendSeq.resize(_shards, 0);
+            Ping p;
+            p.arrival = _queues[s]->curTick() + crossLatency +
+                        Tick(st.rng.uniform(ns(5)));
+            p.srcShard = s;
+            p.srcSeq = ++st.sendSeq[dst];
+            p.payload = (std::uint64_t(s) << 48) ^ st.hopCount;
+            _mail[s * _shards + dst].push(p);
+            ++st.pingsSent;
+        }
+        scheduleHop(s, ns(1) + Tick(st.rng.uniform(ns(3))));
+    }
+
+    Tick
+    flip()
+    {
+        Tick earliest = EventQueue::noTick;
+        for (auto &mb : _mail) {
+            mb.flip();
+            for (const Ping &p : mb.pending())
+                earliest = std::min(earliest, p.arrival);
+        }
+        return earliest;
+    }
+
+    void
+    intake(unsigned dst)
+    {
+        Shard &st = _state[dst];
+        st.lastSeqAt.resize(_shards, 0);
+        st.lastTickFrom.resize(_shards, 0);
+        for (unsigned src = 0; src < _shards; ++src) {
+            auto &mb = _mail[src * _shards + dst];
+            for (const Ping &p : mb.pending()) {
+                // Exact-ordering checks at the window boundary:
+                // handoffs from one source arrive in send order, and
+                // never for a tick the consumer has already passed.
+                EXPECT_EQ(p.srcShard, src);
+                EXPECT_EQ(p.srcSeq, st.lastSeqAt[src] + 1);
+                st.lastSeqAt[src] = p.srcSeq;
+                EXPECT_GE(p.arrival, _queues[dst]->curTick());
+                const Ping ping = p;
+                _queues[dst]->scheduleAbs(p.arrival, [this, dst, ping]() {
+                    Shard &me = _state[dst];
+                    // Delivered exactly at the arrival tick.
+                    EXPECT_EQ(_queues[dst]->curTick(), ping.arrival);
+                    ++me.pingsReceived;
+                    me.trace.push_back({ping.arrival, ping.payload});
+                });
+            }
+            mb.pending().clear();
+        }
+    }
+
+    unsigned _shards;
+    std::uint64_t _hops;
+    std::uint64_t _windows = 0;
+    std::vector<std::unique_ptr<EventQueue>> _queues;
+    std::vector<Shard> _state;
+    std::vector<FlipMailbox<Ping>> _mail;
+};
+
+TEST(ShardedKernel, TracesBitIdenticalForEveryWorkerCount)
+{
+    // 4 shards x 8 chains, 2500 hops per shard -> ~10k traced events
+    // plus a few thousand cross-shard pings.
+    ToySim reference(4, 8, 2500, 42);
+    reference.run(1);
+    ASSERT_GT(reference.pingsSent(), 500u);
+    EXPECT_EQ(reference.pingsSent(), reference.pingsReceived());
+
+    for (unsigned workers : {2u, 3u, 4u, 8u}) {
+        ToySim sim(4, 8, 2500, 42);
+        sim.run(workers);
+        EXPECT_EQ(sim.windows(), reference.windows());
+        EXPECT_EQ(sim.pingsSent(), reference.pingsSent());
+        EXPECT_EQ(sim.pingsReceived(), reference.pingsReceived());
+        for (unsigned s = 0; s < 4; ++s) {
+            ASSERT_EQ(sim.trace(s).size(), reference.trace(s).size())
+                << "shard " << s << " workers " << workers;
+            EXPECT_TRUE(sim.trace(s) == reference.trace(s))
+                << "shard " << s << " trace diverged at workers="
+                << workers;
+        }
+    }
+}
+
+TEST(ShardedKernel, MailboxStressDeliversEverythingInOrder)
+{
+    // Heavier randomized stress across several seeds: every ping must
+    // be delivered exactly once, at its tick, in per-pair send order
+    // (the EXPECTs inside ToySim::intake), independent of workers.
+    for (std::uint64_t seed : {7u, 1234u, 99991u}) {
+        ToySim serial(8, 4, 1250, seed);
+        serial.run(1);
+        ToySim parallel(8, 4, 1250, seed);
+        parallel.run(4);
+        EXPECT_EQ(serial.pingsSent(), serial.pingsReceived());
+        EXPECT_EQ(parallel.pingsSent(), parallel.pingsReceived());
+        EXPECT_EQ(parallel.pingsSent(), serial.pingsSent());
+        for (unsigned s = 0; s < 8; ++s)
+            EXPECT_TRUE(parallel.trace(s) == serial.trace(s));
+    }
+}
+
+TEST(ShardedKernel, HorizonStopsBeforeCrossingEvents)
+{
+    EventQueue a, b;
+    std::vector<Tick> fired;
+    a.schedule(ns(1), [&]() { fired.push_back(ns(1)); });
+    b.schedule(ns(5), [&]() { fired.push_back(ns(5)); });
+    a.schedule(ns(50), [&]() { fired.push_back(ns(50)); });
+    ShardedKernel kernel({&a, &b}, ns(2), 1);
+    EXPECT_EQ(kernel.run(ns(10)), ShardedKernel::Outcome::Horizon);
+    EXPECT_EQ(fired.size(), 2u);
+    EXPECT_EQ(kernel.run(), ShardedKernel::Outcome::Drained);
+    EXPECT_EQ(fired.size(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Full-system determinism sweep
+// ---------------------------------------------------------------------
+
+struct RunSummary
+{
+    bool completed = false;
+    Tick runtime = 0;
+    std::uint64_t violations = 0;
+    std::map<std::string, double> stats;
+};
+
+RunSummary
+runSystem(Protocol proto, unsigned shards, SchedulerKind sched,
+          std::uint64_t seed)
+{
+    SystemConfig cfg;
+    cfg.protocol = proto;
+    cfg.seed = seed;
+    cfg.shards = shards;
+    cfg.scheduler = sched;
+    cfg.finalize();
+
+    SyntheticParams p = oltpParams();
+    p.opsPerProc = 40;  // fig6-style mix, test-sized
+    SyntheticWorkload wl(p);
+
+    System sys(cfg);
+    System::RunResult r = sys.run(wl);
+    RunSummary s;
+    s.completed = r.completed;
+    s.runtime = r.runtime;
+    s.violations = r.violations;
+    s.stats = r.stats.all();
+    return s;
+}
+
+void
+expectSameRun(const RunSummary &a, const RunSummary &b,
+              const std::string &what)
+{
+    EXPECT_EQ(a.completed, b.completed) << what;
+    EXPECT_EQ(a.runtime, b.runtime) << what;
+    EXPECT_EQ(a.violations, b.violations) << what;
+    ASSERT_EQ(a.stats.size(), b.stats.size()) << what;
+    for (const auto &[key, val] : a.stats) {
+        auto it = b.stats.find(key);
+        ASSERT_NE(it, b.stats.end()) << what << ": missing " << key;
+        EXPECT_EQ(val, it->second) << what << ": " << key;
+    }
+}
+
+class ShardSweep
+    : public ::testing::TestWithParam<std::tuple<Protocol, unsigned>>
+{};
+
+TEST_P(ShardSweep, StatsBitIdenticalAcrossWorkerCounts)
+{
+    const Protocol proto = std::get<0>(GetParam());
+    const unsigned shards = std::get<1>(GetParam());
+
+    // Worker-count invariance: shards=1 is the canonical sharded
+    // execution; more workers only change the thread mapping.
+    const RunSummary base =
+        runSystem(proto, 1, SchedulerKind::TimingWheel, 11);
+    ASSERT_TRUE(base.completed);
+    EXPECT_EQ(base.violations, 0u);
+
+    const RunSummary run =
+        runSystem(proto, shards, SchedulerKind::TimingWheel, 11);
+    expectSameRun(run, base,
+                  std::string(protocolName(proto)) + " shards=" +
+                      std::to_string(shards));
+}
+
+TEST_P(ShardSweep, ReferenceHeapOracleMatchesWheel)
+{
+    const Protocol proto = std::get<0>(GetParam());
+    const unsigned shards = std::get<1>(GetParam());
+
+    // The ReferenceHeap ordering oracle kept from the kernel overhaul:
+    // per-shard wheels must order identically to per-shard heaps.
+    const RunSummary wheel =
+        runSystem(proto, shards, SchedulerKind::TimingWheel, 23);
+    const RunSummary heap =
+        runSystem(proto, shards, SchedulerKind::ReferenceHeap, 23);
+    expectSameRun(wheel, heap,
+                  std::string(protocolName(proto)) + " oracle shards=" +
+                      std::to_string(shards));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolsByShards, ShardSweep,
+    ::testing::Combine(::testing::Values(Protocol::TokenDst1,
+                                         Protocol::DirectoryCMP),
+                       ::testing::Values(1u, 2u, 4u, 8u)),
+    [](const auto &info) {
+        std::string name(protocolName(std::get<0>(info.param)));
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name + "_shards" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ShardedSystem, SerialAndShardedAgreeSemantically)
+{
+    // The serial kernel and the sharded kernel order same-tick
+    // cross-CMP events differently, so per-run timing statistics may
+    // legitimately diverge; the semantic outcome must not.
+    for (Protocol proto :
+         {Protocol::TokenDst1, Protocol::DirectoryCMP}) {
+        const RunSummary serial =
+            runSystem(proto, 0, SchedulerKind::ReferenceHeap, 31);
+        const RunSummary sharded =
+            runSystem(proto, 4, SchedulerKind::TimingWheel, 31);
+        EXPECT_TRUE(serial.completed);
+        EXPECT_TRUE(sharded.completed);
+        EXPECT_EQ(serial.violations, 0u);
+        EXPECT_EQ(sharded.violations, 0u);
+    }
+}
+
+} // namespace
+} // namespace tokencmp::test

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
 #include "test_util.hh"
 
 namespace tokencmp::test {
@@ -181,6 +185,169 @@ TEST(TokenScenario, ConcurrentWritersSerialize)
         EXPECT_EQ(runLoad(sys, p, 0x7000), v0);
     drain(sys);
     sys.tokenGlobals()->auditor.checkAll(true);
+}
+
+namespace {
+
+/**
+ * Adversarial racing workload: every processor hammers the same block
+ * with zero-think atomic increments, so CMPs continuously activate
+ * persistent-table entries for one block inside the same lookahead
+ * window. Observed pre-increment values are collected under a mutex;
+ * a correct protocol serializes the increments, so the sorted
+ * observations must be exactly 0..N-1 (each value seen once).
+ */
+class RacingAtomicWorkload : public Workload
+{
+  public:
+    RacingAtomicWorkload(Addr addr, unsigned increments)
+        : _addr(addr), _increments(increments)
+    {}
+
+    class Thread : public ThreadContext
+    {
+      public:
+        Thread(SimContext &ctx, Sequencer &seq,
+               RacingAtomicWorkload &wl)
+            : ThreadContext(ctx, seq), _wl(wl)
+        {}
+        void start() override { step(); }
+
+      private:
+        void
+        step()
+        {
+            if (_done == _wl._increments) {
+                finish();
+                return;
+            }
+            ++_done;
+            atomic(_wl._addr,
+                   [](std::uint64_t v) { return v + 1; },
+                   [this](std::uint64_t old) {
+                       _wl.observe(old);
+                       step();
+                   });
+        }
+        RacingAtomicWorkload &_wl;
+        unsigned _done = 0;
+    };
+
+    std::unique_ptr<ThreadContext>
+    makeThread(SimContext &ctx, Sequencer &seq, unsigned,
+               std::uint64_t) override
+    {
+        return std::make_unique<Thread>(ctx, seq, *this);
+    }
+
+    void
+    observe(std::uint64_t old)
+    {
+        std::lock_guard<std::mutex> guard(_mu);
+        _observed.push_back(old);
+    }
+
+    /** True iff the observed pre-values are exactly 0..N-1. */
+    bool
+    serializedCleanly(std::uint64_t expected) const
+    {
+        std::vector<std::uint64_t> got = _observed;
+        if (got.size() != expected)
+            return false;
+        std::sort(got.begin(), got.end());
+        for (std::uint64_t i = 0; i < expected; ++i) {
+            if (got[i] != i)
+                return false;
+        }
+        return true;
+    }
+
+    std::string name() const override { return "racing-atomics"; }
+
+  private:
+    friend class Thread;
+    Addr _addr;
+    unsigned _increments;
+    std::mutex _mu;
+    std::vector<std::uint64_t> _observed;
+};
+
+/** Run the race on `shards` workers; return the gathered stats. */
+StatSet
+runPersistentRace(Protocol proto, unsigned shards, System **sys_out,
+                  std::unique_ptr<System> &keeper)
+{
+    SystemConfig cfg;
+    cfg.protocol = proto;
+    cfg.seed = 7;
+    cfg.shards = shards;
+    cfg.finalize();
+
+    RacingAtomicWorkload wl(0x9000, 12);
+    keeper = std::make_unique<System>(cfg);
+    System &sys = *keeper;
+    if (sys_out != nullptr)
+        *sys_out = &sys;
+
+    System::RunResult r = sys.run(wl);
+    const std::uint64_t expected = 12ull * cfg.topo.numProcs();
+
+    // Starvation-freedom: every processor's every increment finished.
+    EXPECT_TRUE(r.completed) << protocolName(proto)
+                             << " shards=" << shards;
+    EXPECT_TRUE(wl.serializedCleanly(expected))
+        << protocolName(proto) << " shards=" << shards;
+    // Token conservation, owner uniqueness, and quiescence.
+    sys.tokenGlobals()->auditor.checkAll(true);
+    return r.stats;
+}
+
+} // namespace
+
+TEST(TokenScenario, RacingPersistentRequestsAcrossCmpsStarvationFree)
+{
+    // dst0 turns every miss into a distributed persistent request, so
+    // racing increments from all four CMPs continuously activate
+    // persistent-table entries for the same block within one shard
+    // lookahead window. Both the serial and the sharded kernel must
+    // complete the race without starvation or conservation failures.
+    for (unsigned shards : {0u, 4u}) {
+        std::unique_ptr<System> keeper;
+        System *sys = nullptr;
+        StatSet stats = runPersistentRace(Protocol::TokenDst0, shards,
+                                          &sys, keeper);
+        EXPECT_GT(stats.get("token.persistents"), 0.0);
+        // The race really spanned CMPs: persistent requests were
+        // issued from L1s on at least two different chips.
+        unsigned cmps_issuing = 0;
+        for (unsigned c = 0; c < 4; ++c) {
+            std::uint64_t n = 0;
+            for (unsigned p = 0; p < 4; ++p)
+                n += sys->controller<TokenL1>(c, p)->stats.persistents;
+            cmps_issuing += n > 0 ? 1 : 0;
+        }
+        EXPECT_GE(cmps_issuing, 2u) << "shards=" << shards;
+    }
+}
+
+TEST(TokenScenario, RacingPersistentRequestsShardInvariant)
+{
+    // The same adversarial race must be bit-identical for every
+    // sharded worker count (the determinism contract under maximal
+    // persistent-table contention), for both activation styles.
+    for (Protocol proto : {Protocol::TokenDst0, Protocol::TokenArb0}) {
+        std::unique_ptr<System> k1, k4, k8;
+        StatSet s1 = runPersistentRace(proto, 1, nullptr, k1);
+        StatSet s4 = runPersistentRace(proto, 4, nullptr, k4);
+        StatSet s8 = runPersistentRace(proto, 8, nullptr, k8);
+        ASSERT_EQ(s1.all().size(), s4.all().size());
+        for (const auto &[key, val] : s1.all()) {
+            EXPECT_EQ(val, s4.get(key))
+                << protocolName(proto) << ": " << key;
+            EXPECT_EQ(val, s8.get(key))
+                << protocolName(proto) << ": " << key;
+        }
+    }
 }
 
 TEST(TokenScenario, MixedInstructionAndDataSharing)
