@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the Release CI leg.
+
+Compares the freshly produced BENCH_<name>.json records against the
+committed baselines in bench/baselines/<name>.json and fails (exit 1)
+when any events/sec cell drops by more than the tolerance (default
+15%, override with --tolerance or TOKENCMP_BENCH_TOLERANCE).
+
+Gated cells are those with an "eventsPerSec" field present in both the
+baseline and the current record; "ratio" cells (speedups) are reported
+informationally but do not gate, since their pass/fail thresholds are
+enforced by the benches themselves. A label present in the baseline
+but missing from the current record is a failure (the bench silently
+shrank); new labels are reported and ignored.
+
+A machine-readable diff is written to --out for upload as a CI
+artifact, whether or not the gate trips.
+
+Baselines are runner-class specific: refresh them (copy the
+BENCH_*.json produced by a Release build on the CI runner class into
+bench/baselines/) whenever the runner hardware or the benchmark
+workload intentionally changes.
+
+Usage:
+  python3 bench/check_regression.py \
+      --baseline-dir bench/baselines --current-dir build \
+      --out build/bench_regression_diff.json \
+      [--tolerance 0.15] [--benches kernel_throughput sharded_throughput]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_cells(path):
+    """Return {label: cell-dict} for one BENCH_*.json record."""
+    with open(path) as f:
+        record = json.load(f)
+    cells = {}
+    for cell in record.get("cells", []):
+        label = cell.get("label")
+        if label:
+            cells[label] = cell
+    return cells
+
+
+def compare(name, baseline_dir, current_dir, tolerance):
+    base_path = os.path.join(baseline_dir, name + ".json")
+    cur_path = os.path.join(current_dir, "BENCH_" + name + ".json")
+    result = {"bench": name, "cells": [], "failures": []}
+
+    if not os.path.exists(base_path):
+        result["failures"].append(f"missing baseline: {base_path}")
+        return result
+    if not os.path.exists(cur_path):
+        result["failures"].append(f"missing current record: {cur_path}")
+        return result
+
+    base = load_cells(base_path)
+    cur = load_cells(cur_path)
+
+    for label, bcell in sorted(base.items()):
+        ccell = cur.get(label)
+        entry = {"label": label}
+        if "eventsPerSec" in bcell:
+            if ccell is None or "eventsPerSec" not in ccell:
+                entry["verdict"] = "missing"
+                result["failures"].append(
+                    f"{name}/{label}: present in baseline, missing "
+                    f"from current record")
+            else:
+                b = float(bcell["eventsPerSec"])
+                c = float(ccell["eventsPerSec"])
+                entry["baseline"] = b
+                entry["current"] = c
+                entry["change"] = (c - b) / b if b else 0.0
+                if b > 0 and c < b * (1.0 - tolerance):
+                    entry["verdict"] = "regressed"
+                    result["failures"].append(
+                        f"{name}/{label}: {c:.3e} ev/s is "
+                        f"{(1 - c / b) * 100:.1f}% below baseline "
+                        f"{b:.3e} (tolerance {tolerance * 100:.0f}%)")
+                else:
+                    entry["verdict"] = "ok"
+        elif "ratio" in bcell:
+            entry["baseline"] = bcell["ratio"]
+            entry["current"] = (ccell or {}).get("ratio")
+            entry["verdict"] = "info"
+        else:
+            continue
+        result["cells"].append(entry)
+
+    for label in sorted(set(cur) - set(base)):
+        result["cells"].append({"label": label, "verdict": "new"})
+    return result
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--current-dir", default="build")
+    ap.add_argument("--out", default=None,
+                    help="write the diff JSON here")
+    ap.add_argument("--tolerance", type=float,
+                    default=float(os.environ.get(
+                        "TOKENCMP_BENCH_TOLERANCE", "0.15")),
+                    help="allowed fractional events/sec drop "
+                         "(default 0.15)")
+    ap.add_argument("--benches", nargs="+",
+                    default=["kernel_throughput", "sharded_throughput"])
+    args = ap.parse_args()
+
+    diff = {"tolerance": args.tolerance, "benches": [], "ok": True}
+    failures = []
+    for name in args.benches:
+        result = compare(name, args.baseline_dir, args.current_dir,
+                         args.tolerance)
+        diff["benches"].append(result)
+        failures.extend(result["failures"])
+
+    diff["ok"] = not failures
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as f:
+            json.dump(diff, f, indent=2)
+        print(f"wrote {args.out}")
+
+    for result in diff["benches"]:
+        for entry in result["cells"]:
+            label = f"{result['bench']}/{entry['label']}"
+            if entry.get("verdict") == "ok":
+                print(f"  OK   {label}: {entry['current']:.3e} ev/s "
+                      f"({entry['change']:+.1%} vs baseline)")
+            elif entry.get("verdict") == "info":
+                print(f"  INFO {label}: {entry.get('current')} "
+                      f"(baseline {entry.get('baseline')})")
+            elif entry.get("verdict") == "new":
+                print(f"  NEW  {label}")
+
+    if failures:
+        print("\nBench regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nBench regression gate passed "
+          f"(tolerance {args.tolerance:.0%}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

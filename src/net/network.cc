@@ -64,6 +64,7 @@ Network::Network(EventQueue &eq, const Topology &topo,
     _memLinks.assign(2 * _topo.numCmps, Link{});
     _open.assign(_topo.numControllers(), nullptr);
     _dom = std::vector<DomainState>(1);
+    _lookahead.assign(1, EventQueue::noTick);
 }
 
 Network::~Network()
@@ -92,22 +93,88 @@ Network::registerController(Controller *c)
 }
 
 void
-Network::shardByCmp(const std::vector<EventQueue *> &queues)
+Network::shard(const std::vector<EventQueue *> &queues,
+               const std::vector<unsigned> &domain_of)
 {
-    if (queues.size() != _topo.numCmps)
-        panic("shardByCmp: %zu queues for %u CMPs", queues.size(),
-              _topo.numCmps);
-    if (queues.empty() || queues[0] != _eqs.front())
-        panic("shardByCmp: domain 0 must keep the construction queue");
+    if (queues.empty())
+        panic("shard: need at least one domain queue");
+    if (queues[0] != _eqs.front())
+        panic("shard: domain 0 must keep the construction queue");
+    if (domain_of.size() != _topo.numControllers())
+        panic("shard: %zu domain assignments for %u controllers",
+              domain_of.size(), _topo.numControllers());
+    for (unsigned d : domain_of) {
+        if (d >= queues.size())
+            panic("shard: controller assigned to domain %u of %zu", d,
+                  queues.size());
+    }
     if (totalMessages() != 0 || inFlight() != 0)
-        panic("shardByCmp after traffic started");
-    if (_p.interLatency == 0)
-        panic("sharded delivery needs a nonzero inter-CMP latency "
-              "(the conservative lookahead)");
+        panic("shard after traffic started");
+
     _eqs = queues;
+    _ctrlDomain = domain_of;
     _dom = std::vector<DomainState>(_eqs.size());
     _mail = std::vector<FlipMailbox<Handoff>>(_eqs.size() *
                                               _eqs.size());
+    // Split every directed inter-CMP link into one virtual channel
+    // per source domain, so co-located domains never share occupancy.
+    _numVC = numDomains();
+    _interLinks.assign(_topo.numCmps * _topo.numCmps * _numVC, Link{});
+    buildLookaheadMatrix();
+}
+
+Tick
+Network::minPathLatency(const MachineID &src, const MachineID &dst) const
+{
+    const bool src_is_mem = src.type == MachineType::Mem;
+    const bool dst_is_mem = dst.type == MachineType::Mem;
+    if (src_is_mem && dst_is_mem)
+        return EventQueue::noTick;  // mem-to-mem messages don't exist
+    const Tick hop = src.cmp == dst.cmp ? _p.intraLatency
+                                        : _p.interLatency;
+    if (src_is_mem || dst_is_mem)
+        return hop + _p.memLinkLatency;
+    return hop;
+}
+
+void
+Network::buildLookaheadMatrix()
+{
+    const unsigned n = numDomains();
+    _lookahead.assign(std::size_t(n) * n, EventQueue::noTick);
+
+    // Enumerate every controller pair once; the matrix entry for a
+    // domain pair is the minimum over its member pairs.
+    std::vector<MachineID> ids;
+    ids.reserve(_topo.numControllers());
+    for (unsigned c = 0; c < _topo.numCmps; ++c) {
+        for (unsigned p = 0; p < _topo.procsPerCmp; ++p) {
+            ids.push_back(_topo.l1d(c, p));
+            ids.push_back(_topo.l1i(c, p));
+        }
+        for (unsigned b = 0; b < _topo.l2BanksPerCmp; ++b)
+            ids.push_back(_topo.l2(c, b));
+        ids.push_back(_topo.mem(c));
+    }
+    for (const MachineID &a : ids) {
+        const unsigned da = _ctrlDomain[_topo.globalIndex(a)];
+        for (const MachineID &b : ids) {
+            const unsigned db = _ctrlDomain[_topo.globalIndex(b)];
+            if (da == db || a == b)
+                continue;
+            const Tick l = minPathLatency(a, b);
+            Tick &cell = _lookahead[da * n + db];
+            cell = std::min(cell, l);
+        }
+    }
+    for (unsigned s = 0; s < n; ++s) {
+        for (unsigned d = 0; d < n; ++d) {
+            if (s != d && _lookahead[s * n + d] == 0) {
+                panic("sharded delivery needs nonzero link latencies: "
+                      "lookahead(%u, %u) is 0", s, d);
+            }
+        }
+    }
 }
 
 Tick
@@ -141,11 +208,13 @@ Network::send(Msg msg, Tick sender_delay)
     const bool dst_is_mem = msg.dst.type == MachineType::Mem;
     const unsigned scmp = msg.src.cmp;
     const unsigned dcmp = msg.dst.cmp;
-    const unsigned sd = domainOf(scmp);
-    const unsigned dd = domainOf(dcmp);
+    const unsigned sd = domainOf(msg.src);
+    const unsigned dd = domainOf(msg.dst);
 
     // The sender executes on its own domain; every link below except
-    // the remote-home memory ingress is source-owned.
+    // the home memory ingress is source-owned (the per-source virtual
+    // channels keep the inter-CMP links that way even when several
+    // domains share the source chip).
     Tick t = _eqs[sd]->curTick() + sender_delay;
     const unsigned sz = msg.size();
     bool mem_ingress_pending = false;
@@ -158,7 +227,7 @@ Network::send(Msg msg, Tick sender_delay)
         if (dst_is_mem)
             panic("memory-to-memory message");
         if (scmp != dcmp) {
-            t = traverse(_interLinks[scmp * _topo.numCmps + dcmp], t,
+            t = traverse(interLink(scmp, dcmp, sd), t,
                          _p.interLatency, _p.interBytesPerNs, sz);
             account(NetLevel::Inter, msg, sd);
         } else {
@@ -169,18 +238,19 @@ Network::send(Msg msg, Tick sender_delay)
         }
     } else if (dst_is_mem) {
         if (scmp != dcmp) {
-            t = traverse(_interLinks[scmp * _topo.numCmps + dcmp], t,
+            t = traverse(interLink(scmp, dcmp, sd), t,
                          _p.interLatency, _p.interBytesPerNs, sz);
             account(NetLevel::Inter, msg, sd);
-            // The home memory ingress link belongs to the destination
-            // domain; in sharded mode the handoff's consumer finishes
-            // the traversal with its own link state.
-            mem_ingress_pending = sd != dd;
         } else {
             t = traverse(_intraPorts[_topo.globalIndex(msg.src)], t,
                          _p.intraLatency, _p.intraBytesPerNs, sz);
             account(NetLevel::Intra, msg, sd);
         }
+        // The home memory ingress link belongs to the destination
+        // domain; when the sender lives elsewhere (another chip, or a
+        // sub-CMP domain on the same chip) the handoff's consumer
+        // finishes the traversal with its own link state.
+        mem_ingress_pending = sd != dd;
         if (!mem_ingress_pending) {
             t = traverse(_memLinks[2 * dcmp], t, _p.memLinkLatency,
                          _p.memLinkBytesPerNs, sz);
@@ -194,8 +264,8 @@ Network::send(Msg msg, Tick sender_delay)
     } else {
         // Cross-chip cache-to-cache: the 20 ns inter link subsumes the
         // chip interfaces (Table 3).
-        t = traverse(_interLinks[scmp * _topo.numCmps + dcmp], t,
-                     _p.interLatency, _p.interBytesPerNs, sz);
+        t = traverse(interLink(scmp, dcmp, sd), t, _p.interLatency,
+                     _p.interBytesPerNs, sz);
         account(NetLevel::Inter, msg, sd);
     }
 
@@ -204,8 +274,7 @@ Network::send(Msg msg, Tick sender_delay)
     if (sd != dd) {
         _mailboxed.fetch_add(1, std::memory_order_relaxed);
         _handoffsTotal.fetch_add(1, std::memory_order_relaxed);
-        mailbox(sd, dd).push(
-            Handoff{msg, t, mem_ingress_pending});
+        mailbox(sd, dd).push(Handoff{msg, t, mem_ingress_pending}, t);
         return;
     }
     deliverLocal(msg, t, dd);
@@ -246,16 +315,17 @@ Network::deliverLocal(const Msg &msg, Tick arrival, unsigned domain)
     _open[idx] = b;
 }
 
-Tick
-Network::flipMailboxes()
+void
+Network::flipMailboxes(std::vector<Tick> &earliest)
 {
-    Tick earliest = EventQueue::noTick;
-    for (FlipMailbox<Handoff> &mb : _mail) {
-        mb.flip();
-        for (const Handoff &h : mb.pending())
-            earliest = std::min(earliest, h.tick);
+    const unsigned n = numDomains();
+    for (unsigned src = 0; src < n; ++src) {
+        for (unsigned dst = 0; dst < n; ++dst) {
+            FlipMailbox<Handoff> &mb = _mail[src * n + dst];
+            mb.flip();
+            earliest[dst] = std::min(earliest[dst], mb.pendingMin());
+        }
     }
-    return earliest;
 }
 
 void
@@ -276,7 +346,7 @@ Network::intakeMailboxes(unsigned domain)
             deliverLocal(h.msg, t, domain);
             _mailboxed.fetch_sub(1, std::memory_order_relaxed);
         }
-        mb.pending().clear();
+        mb.clearPending();
     }
 }
 

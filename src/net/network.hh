@@ -25,21 +25,36 @@
  * (tick, seq) delivery order — and therefore every simulation outcome —
  * is bit-identical to unbatched per-message delivery.
  *
- * Sharded delivery (shardByCmp): when the System runs the sharded
- * kernel, every CMP is a *domain* with its own EventQueue, and the
- * network keeps one DomainState (delivery pool, open batches' side,
- * traffic counters) per domain so domains share no mutable state
- * inside a window. Same-domain messages deliver exactly as in serial
- * mode; a cross-domain message is computed up to the point where it
- * leaves its last source-owned link, then handed to the destination
- * domain through a per-(src,dst) FlipMailbox. The destination drains
- * its inboxes at the window boundary in canonical (source domain, send
- * order) sequence and finishes any remaining destination-owned
- * traversal (the home memory ingress link) with its own link state —
- * so every link's occupancy is touched by exactly one domain and the
- * execution is deterministic for any worker count. The minimum
- * cross-domain latency (the inter-CMP link) is the sharded kernel's
- * conservative lookahead.
+ * Sharded delivery (shard()): when the System runs the sharded kernel,
+ * the machine decomposes into shard *domains* under an arbitrary
+ * controller-to-domain map (per CMP, per L1 bank, or explicit — see
+ * SystemConfig::shardMap). Each domain owns an EventQueue and one
+ * DomainState (delivery pool, open batches' side, traffic counters),
+ * so domains share no mutable state inside a window. Same-domain
+ * messages deliver exactly as in serial mode; a cross-domain message
+ * is computed up to the point where it leaves its last source-owned
+ * link, then handed to the destination domain through a per-(src, dst)
+ * FlipMailbox. The destination drains its inboxes at the window
+ * boundary in canonical (source domain, send order) sequence and
+ * finishes any remaining destination-owned traversal (the home memory
+ * ingress link) with its own link state.
+ *
+ * Because a sub-CMP map places several domains on one chip, each
+ * directed inter-CMP link splits into *per-source-domain virtual
+ * channels*: one Link occupancy record per (src CMP, dst CMP, src
+ * domain), so co-located domains never serialize through — or race
+ * on — a shared occupancy word. Each virtual channel sees the full
+ * link bandwidth (the standard conservative-PDES decomposition
+ * compromise); with one domain per CMP, or in serial mode, exactly one
+ * channel per link exists and the model is unchanged. Under this
+ * regime every link's occupancy is touched by exactly one domain and
+ * the execution is deterministic for any worker count.
+ *
+ * The minimum latency between each ordered pair of domains forms the
+ * *lookahead matrix* the sharded kernel windows on: 2 ns between
+ * domains sharing a chip, 20 ns chip-to-chip, 22/40 ns through memory
+ * links — so the conservative window only shrinks to 2 ns for pairs
+ * that actually share a crossbar.
  *
  * The network also owns the Figure 7 traffic accounting: bytes per
  * (level, traffic class), kept per domain and summed on read.
@@ -124,37 +139,48 @@ class Network
     void registerController(Controller *c);
 
     /**
-     * Enter sharded-delivery mode: domain d owns every controller of
-     * CMP d and delivers through `queues[d]`. Must be called before
-     * any traffic; `queues.size()` must equal the topology's CMP
-     * count and `queues[0]` must be the queue the network was
-     * constructed with.
+     * Enter sharded-delivery mode under an arbitrary shard map:
+     * `domain_of[i]` is the shard domain of the controller with
+     * global index i (every value < `queues.size()`), and domain d
+     * delivers through `queues[d]`. Must be called before any
+     * traffic; `queues[0]` must be the queue the network was
+     * constructed with. Splits every inter-CMP link into per-source-
+     * domain virtual channels and computes the (src, dst) lookahead
+     * matrix.
      */
-    void shardByCmp(const std::vector<EventQueue *> &queues);
+    void shard(const std::vector<EventQueue *> &queues,
+               const std::vector<unsigned> &domain_of);
 
-    /** True once shardByCmp() has installed per-CMP domains. */
+    /** True once shard() has installed multiple domains. */
     bool sharded() const { return _eqs.size() > 1; }
 
     unsigned numDomains() const { return unsigned(_eqs.size()); }
 
     /**
-     * Minimum latency of any cross-domain path under the CMP-granular
-     * mapping: every such path enters an inter-CMP link first, so this
-     * is the inter latency — the safe conservative lookahead for the
-     * sharded kernel. (A mapping that split a CMP's crossbar across
-     * shards would be bounded by the 2 ns intra latency instead.)
+     * Row-major numDomains()^2 (src, dst) lookahead matrix for the
+     * sharded kernel ({noTick} in serial mode): entry (s, d) is the
+     * minimum latency of any message path from a controller in s to
+     * a controller in d (EventQueue::noTick when no such path
+     * exists). Intra-CMP pairs bottom out at the 2 ns crossbar
+     * latency, cross-CMP pairs at the 20 ns global link.
      */
-    Tick crossShardLookahead() const { return _p.interLatency; }
+    const std::vector<Tick> &lookaheadMatrix() const
+    {
+        return _lookahead;
+    }
 
     // -- Sharded-kernel hooks (see ShardedKernel::Hooks) -------------
 
     /**
      * Flip every cross-domain mailbox (single-threaded, at the window
-     * barrier) and return the earliest handoff tick now pending, or
-     * EventQueue::noTick when none. The returned tick is a lower
-     * bound on the handoff's final arrival.
+     * barrier) and lower `earliest[d]` to the earliest handoff tick
+     * now pending for domain d. The ticks are lower bounds on the
+     * handoffs' final arrivals (a destination-owned memory-ingress
+     * traversal may still follow); the per-item minima were
+     * accumulated by the producers at push time, so this scan is O(1)
+     * per channel.
      */
-    Tick flipMailboxes();
+    void flipMailboxes(std::vector<Tick> &earliest);
 
     /**
      * Drain `domain`'s flipped inboxes in canonical (source domain,
@@ -205,7 +231,7 @@ class Network
   private:
     friend class DeliverEvent;
 
-    /** Occupancy of one serializing link. */
+    /** Occupancy of one serializing link (or virtual channel). */
     struct Link
     {
         Tick nextFree = 0;
@@ -254,11 +280,20 @@ class Network
      *  mailbox intake). */
     void deliverLocal(const Msg &msg, Tick arrival, unsigned domain);
 
-    /** Domain that owns a controller (its CMP in sharded mode). */
+    /** Domain that owns a controller under the installed shard map. */
     unsigned
-    domainOf(unsigned cmp) const
+    domainOf(const MachineID &id) const
     {
-        return sharded() ? cmp : 0;
+        return sharded() ? _ctrlDomain[_topo.globalIndex(id)] : 0;
+    }
+
+    /** Virtual channel of a directed inter-CMP link for one source
+     *  domain (the only channel in serial / one-domain-per-CMP use). */
+    Link &
+    interLink(unsigned scmp, unsigned dcmp, unsigned src_domain)
+    {
+        return _interLinks[(scmp * _topo.numCmps + dcmp) * _numVC +
+                           src_domain];
     }
 
     FlipMailbox<Handoff> &
@@ -267,13 +302,20 @@ class Network
         return _mail[src * numDomains() + dst];
     }
 
+    /** Minimum latency of any message path between two controllers
+     *  (EventQueue::noTick for invalid pairs, e.g. mem-to-mem). */
+    Tick minPathLatency(const MachineID &src, const MachineID &dst) const;
+
+    /** Fill _lookahead from the shard map (called by shard()). */
+    void buildLookaheadMatrix();
+
     Topology _topo;
     NetworkParams _p;
 
     std::vector<Controller *> _controllers;       //!< by global index
     std::vector<Link> _intraPorts;                //!< per source port
     std::vector<Link> _intraGateways;             //!< inbound, per CMP
-    std::vector<Link> _interLinks;                //!< directed CMP pairs
+    std::vector<Link> _interLinks;  //!< (src CMP, dst CMP) x src domain
     std::vector<Link> _memLinks;                  //!< 2 per CMP (to/from)
 
     /** Latest still-open batch per destination controller. */
@@ -282,6 +324,9 @@ class Network
     std::vector<EventQueue *> _eqs;   //!< per-domain queues ({&_eq} serial)
     std::vector<DomainState> _dom;    //!< per-domain delivery state
     std::vector<FlipMailbox<Handoff>> _mail;  //!< numDomains^2 channels
+    std::vector<unsigned> _ctrlDomain;  //!< controller -> domain
+    std::vector<Tick> _lookahead;       //!< numDomains^2 (src, dst)
+    unsigned _numVC = 1;  //!< virtual channels per inter-CMP link
 
     /** Handoffs pushed but not yet enqueued at a destination; relaxed
      *  increments/decrements from domain workers, read at barriers. */

@@ -16,10 +16,14 @@ System::System(const SystemConfig &cfg) : _cfg(cfg)
               "it cannot run on the sharded kernel");
     }
 
-    // One execution domain per CMP when sharded; the shard count is
-    // fixed by the topology so results are independent of how many
-    // worker threads (cfg.shards) drive the domains.
-    const unsigned domains = sharded ? _cfg.topo.numCmps : 1;
+    // The shard map fixes the domain decomposition (per CMP by
+    // default, per L1 bank, or explicit), so results are independent
+    // of how many worker threads (cfg.shards) drive the domains.
+    unsigned domains = 1;
+    if (sharded) {
+        _domainOf = _cfg.shardMap.domainTable(_cfg.topo);
+        domains = _cfg.shardMap.numDomains(_cfg.topo);
+    }
     for (unsigned d = 0; d < domains; ++d) {
         auto ctx = std::make_unique<SimContext>();
         ctx->eventq.setKind(_cfg.scheduler);
@@ -37,7 +41,7 @@ System::System(const SystemConfig &cfg) : _cfg(cfg)
         queues.reserve(_ctxs.size());
         for (auto &ctx : _ctxs)
             queues.push_back(&ctx->eventq);
-        _net->shardByCmp(queues);
+        _net->shard(queues, _domainOf);
     }
     for (auto &ctx : _ctxs)
         ctx->net = _net.get();
@@ -107,10 +111,11 @@ System::runSharded(unsigned num_threads, Tick horizon)
     for (auto &ctx : _ctxs)
         queues.push_back(&ctx->eventq);
 
-    ShardedKernel kernel(queues, _net->crossShardLookahead(),
-                         _cfg.shards);
+    ShardedKernel kernel(queues, _net->lookaheadMatrix(), _cfg.shards);
     ShardedKernel::Hooks hooks;
-    hooks.onBarrier = [this]() { return _net->flipMailboxes(); };
+    hooks.onBarrier = [this](std::vector<Tick> &earliest) {
+        _net->flipMailboxes(earliest);
+    };
     hooks.intake = [this](unsigned d) { _net->intakeMailboxes(d); };
     if (num_threads > 0) {
         hooks.stopRequested = [this, num_threads]() {

@@ -114,33 +114,44 @@ class System
      * each run.
      *
      * With `cfg.shards == 0` this drives the classic serial kernel;
-     * otherwise it drives the sharded kernel: one shard per CMP in
-     * lock-step conservative-lookahead windows, completion detected
-     * by a finish-counter checked once per window barrier.
+     * otherwise it drives the sharded kernel: shard domains chosen by
+     * `cfg.shardMap` (per CMP, per L1 bank, or explicit) advanced in
+     * lock-step windows under the network's (src, dst) lookahead
+     * matrix, completion detected by a finish-counter checked once
+     * per window barrier.
      */
     RunResult run(Workload &workload, Tick horizon = ns(500000000));
 
     /** Domain 0's context (the only one in serial mode). */
     SimContext &context() { return *_ctxs.front(); }
 
-    /** Execution domains: 1 serial, numCmps sharded. */
+    /** Execution domains: 1 serial, cfg.shardMap-determined sharded. */
     unsigned numDomains() const { return unsigned(_ctxs.size()); }
 
-    /** The context a controller at `id` must run in (its CMP's
-     *  domain in sharded mode); protocol builders construct each
+    /** The context of shard domain `d` (domain 0 in serial mode). */
+    SimContext &domainContext(unsigned d) { return *_ctxs.at(d); }
+
+    /** The context a controller at `id` must run in (its shard
+     *  domain under cfg.shardMap); protocol builders construct each
      *  controller against this. */
     SimContext &
     contextFor(const MachineID &id)
     {
-        return *_ctxs[_ctxs.size() > 1 ? id.cmp : 0];
+        if (_ctxs.size() == 1)
+            return *_ctxs.front();
+        return *_ctxs[_domainOf[_cfg.topo.globalIndex(id)]];
     }
 
-    /** The context processor `proc`'s sequencer and thread run in. */
+    /** The context processor `proc`'s sequencer and thread run in
+     *  (the domain of its L1 pair). */
     SimContext &
     contextForProc(unsigned proc)
     {
-        return *_ctxs[_ctxs.size() > 1 ? proc / _cfg.topo.procsPerCmp
-                                       : 0];
+        if (_ctxs.size() == 1)
+            return *_ctxs.front();
+        const Topology &t = _cfg.topo;
+        return contextFor(
+            t.l1d(proc / t.procsPerCmp, proc % t.procsPerCmp));
     }
 
     const SystemConfig &config() const { return _cfg; }
@@ -184,6 +195,7 @@ class System
 
     SystemConfig _cfg;
     std::vector<std::unique_ptr<SimContext>> _ctxs;
+    std::vector<unsigned> _domainOf;  //!< controller -> shard domain
     std::unique_ptr<Network> _net;
     std::unique_ptr<ProtocolBuilder> _proto;
 
