@@ -6,12 +6,19 @@ committed baselines in bench/baselines/<name>.json and fails (exit 1)
 when any events/sec cell drops by more than the tolerance (default
 15%, override with --tolerance or TOKENCMP_BENCH_TOLERANCE).
 
-Gated cells are those with an "eventsPerSec" field present in both the
-baseline and the current record; "ratio" cells (speedups) are reported
-informationally but do not gate, since their pass/fail thresholds are
-enforced by the benches themselves. A label present in the baseline
-but missing from the current record is a failure (the bench silently
-shrank); new labels are reported and ignored.
+Two kinds of cells gate:
+  - "eventsPerSec" (throughput, higher is better): fails when the
+    current value drops more than the tolerance below baseline.
+  - "msgsPerMiss" (normalized traffic, lower is better): fails when
+    the current value rises more than the tolerance above baseline.
+    Unlike wall-clock throughput, these are simulation counts over
+    fixed seeds, so they are exactly reproducible across runner
+    classes — drift means the protocol's traffic actually changed.
+"ratio" cells (speedups) are reported informationally but do not
+gate, since their pass/fail thresholds are enforced by the benches
+themselves. A label present in the baseline but missing from the
+current record is a failure (the bench silently shrank); new labels
+are reported and ignored.
 
 A machine-readable diff is written to --out for upload as a CI
 artifact, whether or not the gate trips.
@@ -25,7 +32,8 @@ Usage:
   python3 bench/check_regression.py \
       --baseline-dir bench/baselines --current-dir build \
       --out build/bench_regression_diff.json \
-      [--tolerance 0.15] [--benches kernel_throughput sharded_throughput]
+      [--tolerance 0.15] \
+      [--benches kernel_throughput sharded_throughput fig7_traffic]
 """
 
 import argparse
@@ -61,26 +69,40 @@ def compare(name, baseline_dir, current_dir, tolerance):
     base = load_cells(base_path)
     cur = load_cells(cur_path)
 
+    # metric key -> (unit, True when higher values are better)
+    gated_metrics = {"eventsPerSec": ("ev/s", True),
+                     "msgsPerMiss": ("msgs/miss", False)}
+
     for label, bcell in sorted(base.items()):
         ccell = cur.get(label)
         entry = {"label": label}
-        if "eventsPerSec" in bcell:
-            if ccell is None or "eventsPerSec" not in ccell:
+        metric = next((m for m in gated_metrics if m in bcell), None)
+        if metric is not None:
+            unit, higher_is_better = gated_metrics[metric]
+            entry["metric"] = metric
+            if ccell is None or metric not in ccell:
                 entry["verdict"] = "missing"
                 result["failures"].append(
                     f"{name}/{label}: present in baseline, missing "
                     f"from current record")
             else:
-                b = float(bcell["eventsPerSec"])
-                c = float(ccell["eventsPerSec"])
+                b = float(bcell[metric])
+                c = float(ccell[metric])
                 entry["baseline"] = b
                 entry["current"] = c
                 entry["change"] = (c - b) / b if b else 0.0
-                if b > 0 and c < b * (1.0 - tolerance):
+                if higher_is_better:
+                    bad = b > 0 and c < b * (1.0 - tolerance)
+                else:
+                    bad = b > 0 and c > b * (1.0 + tolerance)
+                if bad:
+                    drift = (f"{(1 - c / b) * 100:.1f}% below"
+                             if higher_is_better else
+                             f"{(c / b - 1) * 100:.1f}% above")
                     entry["verdict"] = "regressed"
                     result["failures"].append(
-                        f"{name}/{label}: {c:.3e} ev/s is "
-                        f"{(1 - c / b) * 100:.1f}% below baseline "
+                        f"{name}/{label}: {c:.3e} {unit} is "
+                        f"{drift} baseline "
                         f"{b:.3e} (tolerance {tolerance * 100:.0f}%)")
                 else:
                     entry["verdict"] = "ok"
@@ -106,10 +128,11 @@ def main():
     ap.add_argument("--tolerance", type=float,
                     default=float(os.environ.get(
                         "TOKENCMP_BENCH_TOLERANCE", "0.15")),
-                    help="allowed fractional events/sec drop "
-                         "(default 0.15)")
+                    help="allowed fractional drift: events/sec drop "
+                         "or msgs/miss rise (default 0.15)")
     ap.add_argument("--benches", nargs="+",
-                    default=["kernel_throughput", "sharded_throughput"])
+                    default=["kernel_throughput", "sharded_throughput",
+                             "fig7_traffic"])
     args = ap.parse_args()
 
     diff = {"tolerance": args.tolerance, "benches": [], "ok": True}
@@ -131,7 +154,10 @@ def main():
         for entry in result["cells"]:
             label = f"{result['bench']}/{entry['label']}"
             if entry.get("verdict") == "ok":
-                print(f"  OK   {label}: {entry['current']:.3e} ev/s "
+                unit = {"eventsPerSec": "ev/s",
+                        "msgsPerMiss": "msgs/miss"}.get(
+                            entry.get("metric"), "")
+                print(f"  OK   {label}: {entry['current']:.3e} {unit} "
                       f"({entry['change']:+.1%} vs baseline)")
             elif entry.get("verdict") == "info":
                 print(f"  INFO {label}: {entry.get('current')} "

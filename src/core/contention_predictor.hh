@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/random.hh"
 #include "sim/types.hh"
 
@@ -25,7 +26,7 @@ class ContentionPredictor
   public:
     explicit ContentionPredictor(unsigned entries = 256,
                                  unsigned ways = 4)
-        : _ways(ways), _sets(entries / ways),
+        : _ways(ways), _sets(checkedSets(entries, ways)),
           _entries(entries)
     {}
 
@@ -71,6 +72,20 @@ class ContentionPredictor
         std::uint8_t counter = 0;
         std::uint64_t lru = 0;
     };
+
+    /**
+     * Validate geometry *before* any division can fault. A silently
+     * truncated set count (entries % ways != 0) would strand the tail
+     * entries and skew setIndex(); reject it.
+     */
+    static std::size_t
+    checkedSets(unsigned entries, unsigned ways)
+    {
+        if (ways == 0 || entries == 0 || entries % ways != 0)
+            panic("ContentionPredictor: entries (%u) must be a "
+                  "nonzero multiple of ways (%u)", entries, ways);
+        return entries / ways;
+    }
 
     std::size_t
     setIndex(Addr addr) const

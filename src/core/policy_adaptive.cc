@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Destination-set predictor policies enabled by the PerformancePolicy
+ * decoupling — fan-outs the Table 1 enum could not express:
+ *
+ *  - "dst-owner": an owner/group destination-set predictor. Each L2
+ *    bank remembers which remote CMP last pulled a block (external
+ *    transient requests are the natural training signal: the requester
+ *    is acquiring tokens and is the likely current holder). Confident
+ *    read escalations go to {predicted owner, home} instead of the
+ *    full broadcast; writes — which must assemble *all* tokens, so any
+ *    unreached holder forces a timeout — and retries always broadcast.
+ *
+ *  - "bw-adapt": bandwidth-adaptive multicast. The same predictor,
+ *    but narrowing is additionally gated on the observed utilization
+ *    of this CMP's outbound inter-CMP channels (per-link occupancy
+ *    already tracked by the Network): when the links sit idle, the
+ *    policy widens toward broadcast for best latency; as utilization
+ *    climbs, it narrows to save the bandwidth that is actually scarce.
+ *
+ * Both are pure performance plugins: a transient request that reaches
+ * nobody times out, retries as a broadcast, and finally escalates to a
+ * persistent request, so mispredictions cost latency, never safety.
+ * All state is per controller instance and the occupancy probe reads
+ * only the caller's own domain's links, so both policies keep the
+ * sharded kernel's bit-identical-across-worker-counts contract.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/policy.hh"
+#include "sim/logging.hh"
+
+namespace tokencmp {
+namespace {
+
+/**
+ * Small set-associative block -> (CMP, confidence) table with per-set
+ * LRU replacement; the owner-prediction analogue of the contention
+ * predictor's organization.
+ */
+class CmpPredictor
+{
+  public:
+    explicit CmpPredictor(unsigned entries = 512, unsigned ways = 4)
+        : _ways(ways), _sets(checkedSets(entries, ways)),
+          _entries(entries)
+    {}
+
+    /**
+     * Predicted holder CMP, or -1 below `min_conf` confidence or when
+     * the last observation is older than `max_age` ticks (narrowed
+     * escalations stop feeding the broadcast training signal, so a
+     * stale entry is likely wrong — and a wrong guess costs a retry
+     * timeout; `now` comes from the owning controller's clock).
+     */
+    int
+    predict(Addr addr, unsigned min_conf, Tick now, Tick max_age) const
+    {
+        const Addr blk = blockAlign(addr);
+        const std::size_t base = setIndex(addr) * _ways;
+        for (unsigned w = 0; w < _ways; ++w) {
+            const Entry &e = _entries[base + w];
+            if (e.valid && e.tag == blk) {
+                if (e.conf < min_conf || now - e.seen > max_age)
+                    return -1;
+                return int(e.cmp);
+            }
+        }
+        return -1;
+    }
+
+    /** `cmp` was seen acquiring `addr` at tick `now` (strength 2 for
+     *  writes, which leave the requester as the sole holder; 1 for
+     *  reads). */
+    void
+    observe(Addr addr, unsigned cmp, unsigned strength, Tick now)
+    {
+        const Addr blk = blockAlign(addr);
+        const std::size_t base = setIndex(addr) * _ways;
+        Entry *victim = &_entries[base];
+        for (unsigned w = 0; w < _ways; ++w) {
+            Entry &e = _entries[base + w];
+            if (e.valid && e.tag == blk) {
+                if (e.cmp == cmp) {
+                    e.conf = std::min<unsigned>(e.conf + strength, 3);
+                } else if (e.conf > strength) {
+                    e.conf -= strength;
+                } else {
+                    e.cmp = std::uint8_t(cmp);
+                    e.conf = std::uint8_t(strength);
+                }
+                e.lru = ++_useCounter;
+                e.seen = now;
+                return;
+            }
+            if (!e.valid) {
+                victim = &e;
+            } else if (victim->valid && e.lru < victim->lru) {
+                victim = &e;
+            }
+        }
+        victim->valid = true;
+        victim->tag = blk;
+        victim->cmp = std::uint8_t(cmp);
+        victim->conf = std::uint8_t(strength);
+        victim->lru = ++_useCounter;
+        victim->seen = now;
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint8_t cmp = 0;
+        std::uint8_t conf = 0;
+        std::uint64_t lru = 0;
+        Tick seen = 0;  //!< tick of the last observation
+    };
+
+    std::size_t
+    setIndex(Addr addr) const
+    {
+        return static_cast<std::size_t>(blockNumber(addr)) % _sets;
+    }
+
+    /** Validate geometry *before* any division can fault. */
+    static std::size_t
+    checkedSets(unsigned entries, unsigned ways)
+    {
+        if (ways == 0 || entries == 0 || entries % ways != 0)
+            panic("CmpPredictor: entries (%u) must be a nonzero "
+                  "multiple of ways (%u)", entries, ways);
+        return entries / ways;
+    }
+
+    unsigned _ways;
+    std::size_t _sets;
+    std::vector<Entry> _entries;
+    std::uint64_t _useCounter = 0;
+};
+
+/** Shared base: predictor training and the narrowed escalation set. */
+class DestSetPolicy : public PerformancePolicy
+{
+  public:
+    explicit DestSetPolicy(const PolicyEnv &env)
+        : PerformancePolicy(env)
+    {
+        // The predictor is trained and consulted only at L2 banks
+        // (escalation is an L2 decision); L1/memory instances of the
+        // same policy class carry no table.
+        if (env.self.type == MachineType::L2Bank)
+            _pred = std::make_unique<CmpPredictor>();
+    }
+
+    /** One (possibly) narrow attempt, then broadcast retries with
+     *  dst4's budget — mispredictions degrade to dst4, not to an
+     *  immediate persistent-request storm. */
+    unsigned maxTransients() const override { return 4; }
+
+    void
+    onExternalRequest(Addr addr, const MachineID &requestor,
+                      bool is_write) override
+    {
+        if (_pred != nullptr) {
+            _pred->observe(addr, requestor.cmp, is_write ? 2 : 1,
+                           env.ctx->now());
+        }
+    }
+
+    void
+    exportStats(StatSet &out) const override
+    {
+        out.add("policy.narrowedEscalations", double(stats.narrowed));
+        out.add("policy.broadcastEscalations", double(stats.broadcasts));
+    }
+
+  protected:
+    /**
+     * The narrowed inter-CMP fan-out: the predicted holder plus the
+     * home path (home memory must still see the request, or a miss on
+     * an uncached block would always burn a timeout). Mirrors the
+     * broadcast set's home handling: the home CMP is reached through
+     * its L2 bank — which forwards down its memory link — unless this
+     * CMP hosts the home itself.
+     */
+    void
+    narrowEscalateSet(Addr addr, int pred_cmp,
+                      std::vector<MachineID> &out) const
+    {
+        const unsigned home = env.topo.homeCmpOf(addr);
+        if (pred_cmp >= 0 && unsigned(pred_cmp) != env.self.cmp)
+            out.push_back(env.topo.l2BankFor(unsigned(pred_cmp), addr));
+        if (home == env.self.cmp)
+            out.push_back(env.topo.homeOf(addr));
+        else if (int(home) != pred_cmp)
+            out.push_back(env.topo.l2BankFor(home, addr));
+    }
+
+    /** Confidence needed before an escalation trusts the predictor. */
+    static constexpr unsigned kMinConf = 2;
+
+    /** Observations older than this fall back to broadcast. */
+    static constexpr Tick kMaxAge = ns(2000);
+
+    /** The freshness-gated prediction for one escalation. */
+    int
+    predictFresh(Addr addr) const
+    {
+        if (_pred == nullptr)
+            return -1;
+        return _pred->predict(addr, kMinConf, env.ctx->now(), kMaxAge);
+    }
+
+    std::unique_ptr<CmpPredictor> _pred;
+};
+
+/** "dst-owner": always narrow confident read escalations. */
+class OwnerGroupPolicy final : public DestSetPolicy
+{
+  public:
+    using DestSetPolicy::DestSetPolicy;
+
+    const char *name() const override { return "dst-owner"; }
+
+    void
+    destinationSet(Addr addr, DestKind kind, bool is_write,
+                   unsigned attempt, std::vector<MachineID> &out) override
+    {
+        if (kind != DestKind::L2Escalate) {
+            broadcastSet(addr, kind, out);
+            return;
+        }
+        const int pred = predictFresh(addr);
+        if (is_write || attempt > 1 || pred < 0) {
+            ++stats.broadcasts;
+            broadcastSet(addr, kind, out);
+            return;
+        }
+        ++stats.narrowed;
+        narrowEscalateSet(addr, pred, out);
+    }
+};
+
+/** "bw-adapt": narrow only while the outbound links are busy. */
+class BandwidthAdaptivePolicy final : public DestSetPolicy
+{
+  public:
+    using DestSetPolicy::DestSetPolicy;
+
+    const char *name() const override { return "bw-adapt"; }
+
+    void
+    destinationSet(Addr addr, DestKind kind, bool is_write,
+                   unsigned attempt, std::vector<MachineID> &out) override
+    {
+        if (kind != DestKind::L2Escalate) {
+            broadcastSet(addr, kind, out);
+            return;
+        }
+        const int pred = predictFresh(addr);
+        if (is_write || attempt > 1 || pred < 0 || !linksBusy()) {
+            ++stats.broadcasts;
+            broadcastSet(addr, kind, out);
+            return;
+        }
+        ++stats.narrowed;
+        narrowEscalateSet(addr, pred, out);
+    }
+
+  private:
+    /** EWMA sample window and the utilization above which the links
+     *  count as busy (the inter links are 16 GB/s; a few percent of
+     *  sustained occupancy already means queueing bursts). */
+    static constexpr Tick kSampleWindow = ns(200);
+    static constexpr double kBusyUtil = 0.01;
+
+    /**
+     * Sample this CMP's outbound inter-CMP channel occupancy and fold
+     * it into an EWMA utilization. Pure observation — calling this
+     * never changes network state, and it only reads channels the
+     * caller's domain owns.
+     */
+    bool
+    linksBusy()
+    {
+        Network *net = env.ctx != nullptr ? env.ctx->net : nullptr;
+        if (net == nullptr || env.topo.numCmps < 2)
+            return false;
+        Tick now = 0;
+        Tick busy = 0;
+        for (unsigned c = 0; c < env.topo.numCmps; ++c) {
+            if (c == env.self.cmp)
+                continue;
+            const Network::LinkOccupancy o =
+                net->interOccupancy(env.self, c);
+            busy += o.busyTicks;
+            now = o.now;
+        }
+        if (!_sampled) {
+            _sampled = true;
+            _lastNow = now;
+            _lastBusy = busy;
+            return false;
+        }
+        const Tick dt = now - _lastNow;
+        if (dt >= kSampleWindow) {
+            const double links = double(env.topo.numCmps - 1);
+            const double u =
+                double(busy - _lastBusy) / (double(dt) * links);
+            _util = 0.5 * _util + 0.5 * u;
+            _lastNow = now;
+            _lastBusy = busy;
+        }
+        return _util >= kBusyUtil;
+    }
+
+    bool _sampled = false;
+    Tick _lastNow = 0;
+    Tick _lastBusy = 0;
+    double _util = 0.0;
+};
+
+const PolicyRegistrar regOwner("dst-owner", [](const PolicyEnv &env) {
+    return std::make_unique<OwnerGroupPolicy>(env);
+});
+
+const PolicyRegistrar regBwAdapt("bw-adapt", [](const PolicyEnv &env) {
+    return std::make_unique<BandwidthAdaptivePolicy>(env);
+});
+
+} // namespace
+} // namespace tokencmp

@@ -2,6 +2,19 @@
 
 namespace tokencmp {
 
+std::unique_ptr<PerformancePolicy>
+TokenGlobals::makePolicy(SimContext &ctx, const MachineID &self) const
+{
+    PolicyEnv env;
+    env.self = self;
+    env.topo = ctx.topo;
+    env.params = &params;
+    env.ctx = &ctx;
+    if (policyName.empty())
+        return makeTable1Policy(params.policy, env);
+    return PolicyRegistry::instance().create(policyName, env);
+}
+
 std::vector<MachineID>
 localL1Targets(const Topology &topo, unsigned cmp,
                const MachineID &exclude)

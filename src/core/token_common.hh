@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/persistent_table.hh"
+#include "core/policy.hh"
 #include "core/token_auditor.hh"
 #include "core/token_config.hh"
 #include "core/token_state.hh"
@@ -27,13 +28,30 @@ namespace tokencmp {
 /** State shared by every controller of one token-coherent system. */
 struct TokenGlobals
 {
-    explicit TokenGlobals(const TokenParams &p, bool audit = true)
-        : params(p), auditor(p.totalTokens, audit)
+    explicit TokenGlobals(const TokenParams &p, bool audit = true,
+                          std::string policy_name = "")
+        : params(p), auditor(p.totalTokens, audit),
+          policyName(std::move(policy_name))
     {}
 
     TokenParams params;
     TokenAuditor auditor;
     BackingStore store;
+
+    /**
+     * PolicyRegistry name of the system's performance policy; empty
+     * selects the Table 1 family configured by `params.policy` (the
+     * enum-compatible path and customPolicy ablations).
+     */
+    std::string policyName;
+
+    /**
+     * Create this system's performance policy bound to one controller
+     * (every TokenController owns an instance, so policy state lives
+     * in the controller's shard domain).
+     */
+    std::unique_ptr<PerformancePolicy>
+    makePolicy(SimContext &ctx, const MachineID &self) const;
 
     /** System-wide count of persistent requests issued (robustness
      *  statistic: the paper reports < 0.3% of L1 misses). Atomic so
@@ -127,10 +145,15 @@ class TokenController : public Controller
     TokenController(SimContext &ctx, MachineID id, TokenGlobals &g)
         : Controller(ctx, id), g(g),
           ptable(ctx.topo.numProcs()),
+          _policy(g.makePolicy(ctx, id)),
           _lastDeactSeq(ctx.topo.numProcs(), 0)
     {}
 
     const PersistentTable &persistentTable() const { return ptable; }
+
+    /** This controller's performance-policy instance. */
+    PerformancePolicy &policy() { return *_policy; }
+    const PerformancePolicy &policy() const { return *_policy; }
 
   protected:
     /** Send a message, auditing any tokens it carries. */
@@ -167,6 +190,7 @@ class TokenController : public Controller
 
     TokenGlobals &g;
     PersistentTable ptable;
+    std::unique_ptr<PerformancePolicy> _policy;
 
   private:
     std::vector<std::uint64_t> _lastDeactSeq;

@@ -17,7 +17,16 @@ enum class PersistentActivation : unsigned char {
     Distributed,  //!< new distributed activation with marking/waves
 };
 
-/** One row of the paper's Table 1. */
+/**
+ * One row of the paper's Table 1.
+ *
+ * This struct is the *configuration* of the Table 1 policy family —
+ * the executable policy behavior lives in core/policy.hh's
+ * PerformancePolicy plugins (the row flags are interpreted by
+ * Table1Policy in policy.cc). It survives as an alias layer so the
+ * Protocol enum and customPolicy ablations keep working; prefer
+ * selecting policies by PolicyRegistry name (SystemConfig::policyName).
+ */
 struct TokenPolicy
 {
     /**

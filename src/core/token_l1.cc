@@ -87,12 +87,11 @@ TokenL1::startMiss(const MemRequest &req)
     auto [it, ok] = _txns.emplace(addr, std::move(txn));
     (void)ok;
 
-    const auto &policy = g.params.policy;
-    if (policy.maxTransients == 0) {
+    if (_policy->maxTransients() == 0) {
         issuePersistent(addr, it->second);
         return;
     }
-    if (policy.usePredictor && _predictor.predictContended(addr)) {
+    if (_policy->shouldGoPersistent(addr, 0)) {
         ++stats.predictedPersistents;
         issuePersistent(addr, it->second);
         return;
@@ -185,14 +184,15 @@ TokenL1::issueTransient(Addr addr, Txn &txn)
     m.type = txn.isWrite ? MsgType::TokWriteReq : MsgType::TokReadReq;
     m.addr = addr;
     m.requestor = _id;
+    m.attempt = std::uint8_t(std::min(txn.attempts, 255u));
 
-    for (const MachineID &peer :
-         localL1Targets(ctx.topo, _id.cmp, _id)) {
-        m.dst = peer;
+    _destScratch.clear();
+    _policy->destinationSet(addr, DestKind::L1Transient, txn.isWrite,
+                            txn.attempts, _destScratch);
+    for (const MachineID &t : _destScratch) {
+        m.dst = t;
         send(m, g.params.l1Latency);
     }
-    m.dst = ctx.topo.l2BankFor(_id.cmp, addr);
-    send(m, g.params.l1Latency);
 }
 
 Tick
@@ -231,10 +231,8 @@ TokenL1::onTimeout(Addr addr, std::uint64_t gen)
         return;
     }
     Txn &txn = it->second;
-    const auto &policy = g.params.policy;
-    if (policy.usePredictor)
-        _predictor.recordRetry(addr, ctx.rng);
-    if (txn.attempts < policy.maxTransients) {
+    _policy->onRetry(addr, ctx.rng);
+    if (txn.attempts < _policy->maxTransients()) {
         ++txn.attempts;
         ++stats.retries;
         issueTransient(addr, txn);
@@ -263,7 +261,7 @@ TokenL1::issuePersistent(Addr addr, Txn &txn)
     if (!txn.isWrite)
         ++stats.persistentReads;
 
-    if (g.params.policy.activation == PersistentActivation::Arbiter) {
+    if (_policy->activation() == PersistentActivation::Arbiter) {
         txn.prSeq = g.nextPrSeq(myProc());
         Msg m;
         m.type = MsgType::PersistArbRequest;
@@ -314,7 +312,7 @@ TokenL1::deactivatePersistent(Addr addr, Txn &txn)
     if (!txn.activated)
         return;  // gated and never activated: nothing to clean up
 
-    if (g.params.policy.activation == PersistentActivation::Arbiter) {
+    if (_policy->activation() == PersistentActivation::Arbiter) {
         Msg m;
         m.type = MsgType::PersistArbDone;
         m.addr = addr;
@@ -378,8 +376,8 @@ TokenL1::tryComplete(Addr addr)
         old = st.value;
     }
 
-    if (g.params.policy.usePredictor && !txn.persistent)
-        _predictor.recordSuccess(addr);
+    if (!txn.persistent)
+        _policy->onSuccess(addr);
 
     // Seed the shared L2 with surplus read tokens (the C-token
     // transfer exists "to reduce the latency of a future intra-CMP
@@ -441,6 +439,8 @@ void
 TokenL1::onResponse(const Msg &m)
 {
     receiveTok(m);
+    if (m.tokens > 0 || m.owner)
+        _policy->onTokensMoved(m.addr, m.src, m.tokens, m.owner);
     const Addr addr = m.addr;
     Line *line = _array.probe(addr);
 

@@ -3,11 +3,13 @@
  * Token coherence L1 cache controller (instruction or data).
  *
  * Implements the correctness substrate (token counting, persistent
- * requests, response delay) and the hierarchical performance policy's
- * L1 half (Section 4): on a miss, broadcast a transient request within
- * the CMP (to the peer L1s and the responsible L2 bank); on timeout,
- * retry up to the policy's budget and then escalate to a persistent
- * request via the configured activation mechanism.
+ * requests, response delay) and drives the performance policy's L1
+ * half (Section 4) through the PerformancePolicy hook surface: on a
+ * miss, send a transient request to the policy's destination set
+ * (every peer L1 and the responsible L2 bank under the default
+ * broadcast policies); on timeout, retry up to the policy's budget and
+ * then escalate to a persistent request via the policy's activation
+ * mechanism.
  */
 
 #ifndef TOKENCMP_CORE_TOKEN_L1_HH
@@ -16,7 +18,6 @@
 #include <cstdint>
 #include <unordered_map>
 
-#include "core/contention_predictor.hh"
 #include "core/token_common.hh"
 #include "cpu/sequencer.hh"
 #include "mem/cache_array.hh"
@@ -113,7 +114,7 @@ class TokenL1 : public TokenController, public L1CacheIF
 
     Array _array;
     std::unordered_map<Addr, Txn> _txns;
-    ContentionPredictor _predictor;
+    std::vector<MachineID> _destScratch;  //!< fan-out scratch buffer
     double _ewmaMemLat;  //!< EWMA of memory response latency (ticks)
 
 };

@@ -112,20 +112,22 @@ TokenL2::handleMsg(const Msg &msg)
 void
 TokenL2::escalate(const Msg &m)
 {
-    // Broadcast to the other CMPs; the home memory controller is
-    // reached through its own CMP's memory interface (Figure 1), so
-    // the Section 8 example costs exactly three inter-CMP request
-    // messages. Only when *this* CMP hosts the home does the request
-    // go straight down the local memory link.
+    // The policy chooses the inter-CMP fan-out. Under the default
+    // broadcast policies that is every other CMP's responsible bank —
+    // the home memory controller is reached through its own CMP's
+    // memory interface (Figure 1), so the Section 8 example costs
+    // exactly three inter-CMP request messages; only when *this* CMP
+    // hosts the home does the request go straight down the local
+    // memory link. Narrowing policies may target any subset: a
+    // transient request that reaches nobody simply times out.
     ++stats.escalations;
+    _destScratch.clear();
+    _policy->destinationSet(m.addr, DestKind::L2Escalate,
+                            m.type == MsgType::TokWriteReq, m.attempt,
+                            _destScratch);
     Msg fwd = m;
-    for (const MachineID &t :
-         remoteL2Targets(ctx.topo, m.addr, _id.cmp)) {
+    for (const MachineID &t : _destScratch) {
         fwd.dst = t;
-        send(fwd, g.params.l2Latency);
-    }
-    if (ctx.topo.homeCmpOf(m.addr) == _id.cmp) {
-        fwd.dst = ctx.topo.homeOf(m.addr);
         send(fwd, g.params.l2Latency);
     }
 }
@@ -134,8 +136,7 @@ void
 TokenL2::onLocalRequest(const Msg &m)
 {
     ++stats.localReqs;
-    if (g.params.policy.useFilter)
-        _filter.addSharer(m.addr, l1Slot(m.requestor));
+    _policy->onLocalRequest(m.addr, m.requestor);
 
     Line *line = _array.probe(m.addr);
     const bool is_write = m.type == MsgType::TokWriteReq;
@@ -204,21 +205,19 @@ void
 TokenL2::relayToL1s(const Msg &m)
 {
     Msg fwd = m;
-    std::uint32_t mask = ~0u;
-    if (g.params.policy.useFilter)
-        mask = _filter.sharers(m.addr);
+    const std::uint32_t mask = _policy->filterExternal(m.addr);
 
     for (unsigned p = 0; p < ctx.topo.procsPerCmp; ++p) {
         const MachineID d = ctx.topo.l1d(_id.cmp, p);
         const MachineID i = ctx.topo.l1i(_id.cmp, p);
-        if (mask & (1u << l1Slot(d))) {
+        if (mask & (1u << l1SlotOf(ctx.topo, d))) {
             fwd.dst = d;
             send(fwd, g.params.l2Latency);
             ++stats.relaysToL1;
         } else {
             ++stats.filteredRelays;
         }
-        if (mask & (1u << l1Slot(i))) {
+        if (mask & (1u << l1SlotOf(ctx.topo, i))) {
             fwd.dst = i;
             send(fwd, g.params.l2Latency);
             ++stats.relaysToL1;
@@ -232,6 +231,8 @@ void
 TokenL2::onExternalRequest(const Msg &m)
 {
     ++stats.externalReqs;
+    _policy->onExternalRequest(m.addr, m.requestor,
+                               m.type == MsgType::TokWriteReq);
 
     // This CMP hosts the block's home memory controller: forward the
     // request down the local memory interface (Figure 1).
@@ -318,12 +319,7 @@ TokenL2::onWriteback(const Msg &m)
     if (m.tokens == 0 && !m.owner)
         return;
     ++stats.writebacksIn;
-    if (g.params.policy.useFilter &&
-        m.src.cmp == _id.cmp &&
-        (m.src.type == MachineType::L1D ||
-         m.src.type == MachineType::L1I)) {
-        _filter.removeSharer(m.addr, l1Slot(m.src));
-    }
+    _policy->onTokensMoved(m.addr, m.src, m.tokens, m.owner);
     Line *line = allocLine(m.addr);
     mergeTokens(line, m);
     forwardPersistentTokens(m.addr);

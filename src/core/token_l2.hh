@@ -4,10 +4,12 @@
  *
  * The L2 bank plays three roles in the hierarchical performance policy
  * (Section 4): it is a token-holding cache; it escalates local
- * transient requests it cannot fully satisfy by broadcasting them to
- * the other CMPs and the home memory controller; and it relays
- * external transient requests onto the on-chip network — to all local
- * L1s, or through the approximate sharer filter in TokenCMP-dst1-filt.
+ * transient requests it cannot fully satisfy to the PerformancePolicy's
+ * inter-CMP destination set (every other CMP and the home memory
+ * controller under the default broadcast policies); and it relays
+ * external transient requests onto the on-chip network, masked by the
+ * policy's external-request filter (the approximate sharer filter in
+ * TokenCMP-dst1-filt).
  */
 
 #ifndef TOKENCMP_CORE_TOKEN_L2_HH
@@ -15,7 +17,6 @@
 
 #include <cstdint>
 
-#include "core/sharer_filter.hh"
 #include "core/token_common.hh"
 #include "mem/cache_array.hh"
 
@@ -55,15 +56,6 @@ class TokenL2 : public TokenController
     using Array = CacheArray<TokenSt>;
     using Line = Array::Line;
 
-    /** Local L1 slot index for the filter (D: 0..P-1, I: P..2P-1). */
-    unsigned
-    l1Slot(const MachineID &id) const
-    {
-        return id.type == MachineType::L1D
-                   ? id.index
-                   : ctx.topo.procsPerCmp + id.index;
-    }
-
     Line *allocLine(Addr addr);
     void evictLine(Line *line);
     void mergeTokens(Line *line, const Msg &m);
@@ -76,7 +68,7 @@ class TokenL2 : public TokenController
     void forwardPersistentTokens(Addr addr);
 
     Array _array;
-    SharerFilter _filter;
+    std::vector<MachineID> _destScratch;  //!< fan-out scratch buffer
 };
 
 } // namespace tokencmp

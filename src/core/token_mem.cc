@@ -133,6 +133,7 @@ TokenMem::onWriteback(const Msg &m)
     if (m.tokens == 0 && !m.owner)
         return;
     ++stats.writebacks;
+    _policy->onTokensMoved(m.addr, m.src, m.tokens, m.owner);
     b.tokens += m.tokens;
     if (b.tokens > g.params.totalTokens)
         panic("memory exceeds total tokens");

@@ -95,6 +95,9 @@ struct Msg
     int tokens = 0;          //!< tokens carried (token protocol)
     bool owner = false;      //!< carries the owner token
     bool isRead = false;     //!< persistent request is a read
+    std::uint8_t attempt = 0; //!< transient attempt number (from 1);
+                              //!< lets escalation policies widen their
+                              //!< destination sets on retries
 
     // Persistent-request fields.
     std::uint8_t prio = 0;   //!< requesting processor id (priority)

@@ -187,6 +187,7 @@ Network::traverse(Link &link, Tick earliest, Tick latency, double bpn,
     const auto ser = static_cast<Tick>(
         std::llround(double(bytes) * double(ticksPerNs) / bpn));
     link.nextFree = start + ser;
+    link.busy += ser;
     return start + ser + latency;
 }
 
@@ -348,6 +349,20 @@ Network::intakeMailboxes(unsigned domain)
         }
         mb.clearPending();
     }
+}
+
+Network::LinkOccupancy
+Network::interOccupancy(const MachineID &src, unsigned dst_cmp) const
+{
+    const unsigned sd = domainOf(src);
+    LinkOccupancy o;
+    o.now = _eqs[sd]->curTick();
+    if (!_p.modelBandwidth || src.cmp == dst_cmp)
+        return o;
+    const Link &l = interLink(src.cmp, dst_cmp, sd);
+    o.busyTicks = l.busy;
+    o.backlog = l.nextFree > o.now ? l.nextFree - o.now : 0;
+    return o;
 }
 
 std::uint64_t

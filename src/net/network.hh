@@ -213,6 +213,25 @@ class Network
         return _handoffsTotal.load(std::memory_order_relaxed);
     }
 
+    /** Occupancy snapshot of one outbound inter-CMP virtual channel. */
+    struct LinkOccupancy
+    {
+        Tick busyTicks = 0;  //!< cumulative serialization time
+        Tick backlog = 0;    //!< ticks until the channel frees again
+        Tick now = 0;        //!< the owning domain's current tick
+    };
+
+    /**
+     * Occupancy of the outbound inter-CMP virtual channel
+     * src.cmp -> dst_cmp owned by `src`'s shard domain — the raw
+     * occupancy feed for bandwidth-adaptive performance policies.
+     * Deterministic under sharding: reads only link state the
+     * caller's own domain owns. Zeroes (with the current tick) when
+     * the CMPs coincide or bandwidth modeling is off.
+     */
+    LinkOccupancy interOccupancy(const MachineID &src,
+                                 unsigned dst_cmp) const;
+
     /** Bytes moved on a level for one traffic class. */
     std::uint64_t bytes(NetLevel level, TrafficClass cls) const;
 
@@ -235,6 +254,7 @@ class Network
     struct Link
     {
         Tick nextFree = 0;
+        Tick busy = 0;  //!< cumulative serialization (busy) time
     };
 
     /** A message crossing a domain boundary. `tick` is when it left
@@ -289,11 +309,19 @@ class Network
 
     /** Virtual channel of a directed inter-CMP link for one source
      *  domain (the only channel in serial / one-domain-per-CMP use). */
-    Link &
-    interLink(unsigned scmp, unsigned dcmp, unsigned src_domain)
+    const Link &
+    interLink(unsigned scmp, unsigned dcmp, unsigned src_domain) const
     {
         return _interLinks[(scmp * _topo.numCmps + dcmp) * _numVC +
                            src_domain];
+    }
+
+    Link &
+    interLink(unsigned scmp, unsigned dcmp, unsigned src_domain)
+    {
+        return const_cast<Link &>(
+            static_cast<const Network *>(this)->interLink(
+                scmp, dcmp, src_domain));
     }
 
     FlipMailbox<Handoff> &

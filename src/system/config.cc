@@ -143,6 +143,14 @@ ShardMap::domainTable(const Topology &topo) const
     return domainOf;
 }
 
+std::string
+SystemConfig::displayName() const
+{
+    if (!policyName.empty() && isToken(protocol))
+        return "TokenCMP-" + policyName;
+    return protocolName(protocol);
+}
+
 void
 SystemConfig::finalize()
 {
@@ -150,6 +158,13 @@ SystemConfig::finalize()
         return;
     _finalized = true;
     _finalizedFor = protocol;
+    _finalizedPolicy = policyName;
+
+    if (!policyName.empty() && !isToken(protocol)) {
+        fatal("policyName '%s' requires a TokenCMP protocol "
+              "(configured protocol is %s)",
+              policyName.c_str(), protocolName(protocol));
+    }
 
     if (customPolicy) {
         // Ablation mode: only the directory latency presets apply.

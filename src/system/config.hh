@@ -146,6 +146,22 @@ struct SystemConfig
     bool customPolicy = false;
 
     /**
+     * Performance-policy selection by PolicyRegistry name ("dst1",
+     * "dst1-pred", "bw-adapt", ...). Empty (the default) derives the
+     * policy from `protocol`'s Table 1 preset — or from the hand-set
+     * `token.policy` row under `customPolicy` — so the Protocol enum
+     * remains a thin alias layer over the named plugins. Only
+     * meaningful for token protocols; finalize() rejects it elsewhere.
+     * An unknown name is diagnosed (listing every registered policy)
+     * when the System is built.
+     */
+    std::string policyName;
+
+    /** Row/figure label: "TokenCMP-<policyName>" when a named policy
+     *  is selected, protocolName(protocol) otherwise. */
+    std::string displayName() const;
+
+    /**
      * Apply protocol-specific knobs (Table 1 policies, dir latency).
      * Idempotent: a second call for the same protocol is a no-op, so a
      * caller may finalize, hand-tune individual knobs, and still pass
@@ -155,15 +171,20 @@ struct SystemConfig
      */
     void finalize();
 
-    /** Whether finalize() has been applied for the current protocol. */
+    /** Whether finalize() has been applied for the current protocol
+     *  and policy selection (changing either re-arms it, so the
+     *  policyName/protocol compatibility check cannot be bypassed by
+     *  assigning policyName after a finalize()). */
     bool finalized() const
     {
-        return _finalized && _finalizedFor == protocol;
+        return _finalized && _finalizedFor == protocol &&
+               _finalizedPolicy == policyName;
     }
 
   private:
     bool _finalized = false;
     Protocol _finalizedFor = Protocol::TokenDst1;
+    std::string _finalizedPolicy;
 };
 
 } // namespace tokencmp

@@ -7,6 +7,7 @@
 #include <optional>
 #include <thread>
 
+#include "core/policy.hh"
 #include "sim/logging.hh"
 
 namespace tokencmp {
@@ -113,6 +114,13 @@ ExperimentRunner::seeds(unsigned n)
 }
 
 ExperimentRunner &
+ExperimentRunner::policies(std::vector<std::string> names)
+{
+    _policies = std::move(names);
+    return *this;
+}
+
+ExperimentRunner &
 ExperimentRunner::parallelism(unsigned n)
 {
     _parallelism = n;
@@ -140,9 +148,41 @@ ExperimentRunner::onSeedDone(ProgressFn fn)
     return *this;
 }
 
+std::vector<ExperimentResult>
+ExperimentRunner::runSweep() const
+{
+    if (_policies.empty())
+        return {run()};
+    if (!isToken(_cfg.protocol)) {
+        fatal("ExperimentRunner: a policies() sweep needs a token "
+              "protocol base config (got %s)",
+              protocolName(_cfg.protocol));
+    }
+    // Fail fast on typos: a bad name in the last cell must not cost
+    // the minutes the earlier cells take to simulate.
+    for (const std::string &name : _policies) {
+        if (!PolicyRegistry::instance().known(name)) {
+            fatal("ExperimentRunner: unknown policy '%s' in the "
+                  "policies() sweep", name.c_str());
+        }
+    }
+    std::vector<ExperimentResult> out;
+    out.reserve(_policies.size());
+    for (const std::string &name : _policies) {
+        ExperimentRunner cell = *this;
+        cell._policies.clear();
+        cell._cfg.policyName = name;
+        out.push_back(cell.run());
+    }
+    return out;
+}
+
 ExperimentResult
 ExperimentRunner::run() const
 {
+    if (!_policies.empty())
+        fatal("ExperimentRunner: a policies() sweep is pending; "
+              "use runSweep()");
     if (!_factory)
         fatal("ExperimentRunner: no workload factory set");
     if (_seeds == 0)
@@ -212,7 +252,7 @@ ExperimentRunner::run() const
     // Aggregate strictly in seed order: identical results no matter in
     // which order the workers finished.
     ExperimentResult exp;
-    exp.protocol = protocolName(base.protocol);
+    exp.protocol = base.displayName();
     exp.workload = workload_name;
     exp.seedsRequested = n;
     for (unsigned i = 0; i < n; ++i) {

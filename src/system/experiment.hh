@@ -86,6 +86,12 @@ class ExperimentRunner
 
     ExperimentRunner &workload(WorkloadFactory factory);
     ExperimentRunner &seeds(unsigned n);
+    /**
+     * Policy sweep axis: run the whole experiment once per named
+     * performance policy (PolicyRegistry names; requires a token
+     * protocol in the base config). Execute with runSweep().
+     */
+    ExperimentRunner &policies(std::vector<std::string> names);
     /** Worker threads; 1 (default) runs serially on this thread. */
     ExperimentRunner &parallelism(unsigned n);
     ExperimentRunner &horizon(Tick t);
@@ -98,14 +104,24 @@ class ExperimentRunner
      */
     ExperimentRunner &onSeedDone(ProgressFn fn);
 
-    /** Execute all seeds and aggregate. Fatal if no workload was set. */
+    /** Execute all seeds and aggregate. Fatal if no workload was set
+     *  or a policies() sweep is pending (use runSweep()). */
     ExperimentResult run() const;
+
+    /**
+     * Execute the policies() sweep: one aggregated ExperimentResult
+     * per policy name, in the order given (each labeled
+     * "TokenCMP-<name>" via SystemConfig::displayName). Without a
+     * pending sweep this is {run()}.
+     */
+    std::vector<ExperimentResult> runSweep() const;
 
   private:
     explicit ExperimentRunner(const SystemConfig &cfg) : _cfg(cfg) {}
 
     SystemConfig _cfg;
     WorkloadFactory _factory;
+    std::vector<std::string> _policies;
     unsigned _seeds = 1;
     unsigned _parallelism = 1;
     Tick _horizon = ns(500000000);

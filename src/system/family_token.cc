@@ -22,7 +22,8 @@ class TokenFamily : public ProtocolBuilder
     {
         const SystemConfig &cfg = sys.config();
         const Topology &t = sys.config().topo;
-        _globals = std::make_unique<TokenGlobals>(cfg.token, cfg.audit);
+        _globals = std::make_unique<TokenGlobals>(cfg.token, cfg.audit,
+                                                  cfg.policyName);
         if (cfg.shards > 0) {
             // Shard domains mutate the globals concurrently: guard the
             // auditor and functional memory, and pre-size the
@@ -87,6 +88,16 @@ class TokenFamily : public ProtocolBuilder
                     double(m->stats.arbActivations));
         out.add("l1.hits", double(hits));
         out.add("l1.misses", double(misses));
+
+        // Policy-specific statistics (summed across instances; the
+        // Table 1 policies contribute nothing, keeping enum-path
+        // stat sets unchanged).
+        for (const TokenL1 *l1 : _l1s)
+            l1->policy().exportStats(out);
+        for (const TokenL2 *l2 : _l2s)
+            l2->policy().exportStats(out);
+        for (const TokenMem *m : _mems)
+            m->policy().exportStats(out);
     }
 
     void

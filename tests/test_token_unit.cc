@@ -216,6 +216,40 @@ TEST(SharerFilter, BoundedCapacity)
     EXPECT_LE(f.size(), 17u);
 }
 
+TEST(SharerFilter, FullTableEvictsOnlyTheInsertingSetsVictim)
+{
+    // 16 entries, 4 ways -> 4 sets; blocks are 64 bytes, so block i
+    // maps to set i % 4. Fill every way of every set.
+    SharerFilter f(16, 4);
+    for (unsigned i = 0; i < 16; ++i)
+        f.addSharer(Addr(i) * blockBytes, i % 8);
+    EXPECT_EQ(f.size(), 16u);
+
+    // Insert one more block mapping to set 0: only set 0's LRU entry
+    // (block 0, the oldest insert) may be evicted — no global flush.
+    f.addSharer(Addr(16) * blockBytes, 7);
+    EXPECT_EQ(f.size(), 16u);
+    EXPECT_EQ(f.sharers(Addr(16) * blockBytes), 1u << 7);
+    EXPECT_EQ(f.sharers(0), 0u) << "set 0's LRU victim is evicted";
+    for (unsigned i = 1; i < 16; ++i) {
+        EXPECT_EQ(f.sharers(Addr(i) * blockBytes), 1u << (i % 8))
+            << "entry " << i << " must survive an insert into set 0";
+    }
+}
+
+TEST(SharerFilter, RejectsInvalidGeometry)
+{
+    EXPECT_DEATH(SharerFilter(10, 4), "multiple of ways");
+    EXPECT_DEATH(SharerFilter(16, 0), "multiple of ways");
+}
+
+TEST(ContentionPredictor, RejectsInvalidGeometry)
+{
+    // entries % ways != 0 used to silently truncate the set count.
+    EXPECT_DEATH(ContentionPredictor(10, 4), "multiple of ways");
+    EXPECT_DEATH(ContentionPredictor(256, 0), "multiple of ways");
+}
+
 TEST(PersistTargets, CoversAllCachesAndHome)
 {
     Topology topo;
