@@ -18,7 +18,10 @@ Two kinds of cells gate:
 gate, since their pass/fail thresholds are enforced by the benches
 themselves. A label present in the baseline but missing from the
 current record is a failure (the bench silently shrank); new labels
-are reported and ignored.
+are reported and ignored. For benches named in --allow-missing the
+missing-label case instead warns and skips — the workload sweep's
+cell set is expected to grow and shrink as workloads and policies
+are added, and a stale baseline row must not brick the gate.
 
 A machine-readable diff is written to --out for upload as a CI
 artifact, whether or not the gate trips.
@@ -54,10 +57,12 @@ def load_cells(path):
     return cells
 
 
-def compare(name, baseline_dir, current_dir, tolerance):
+def compare(name, baseline_dir, current_dir, tolerance,
+            allow_missing=False):
     base_path = os.path.join(baseline_dir, name + ".json")
     cur_path = os.path.join(current_dir, "BENCH_" + name + ".json")
-    result = {"bench": name, "cells": [], "failures": []}
+    result = {"bench": name, "cells": [], "failures": [],
+              "warnings": []}
 
     if not os.path.exists(base_path):
         result["failures"].append(f"missing baseline: {base_path}")
@@ -81,10 +86,14 @@ def compare(name, baseline_dir, current_dir, tolerance):
             unit, higher_is_better = gated_metrics[metric]
             entry["metric"] = metric
             if ccell is None or metric not in ccell:
-                entry["verdict"] = "missing"
-                result["failures"].append(
-                    f"{name}/{label}: present in baseline, missing "
-                    f"from current record")
+                msg = (f"{name}/{label}: present in baseline, "
+                       f"missing from current record")
+                if allow_missing:
+                    entry["verdict"] = "skipped"
+                    result["warnings"].append(msg)
+                else:
+                    entry["verdict"] = "missing"
+                    result["failures"].append(msg)
             else:
                 b = float(bcell[metric])
                 c = float(ccell[metric])
@@ -132,16 +141,25 @@ def main():
                          "or msgs/miss rise (default 0.15)")
     ap.add_argument("--benches", nargs="+",
                     default=["kernel_throughput", "sharded_throughput",
-                             "fig7_traffic"])
+                             "fig7_traffic", "workload_sweep"])
+    ap.add_argument("--allow-missing", nargs="*", default=
+                    ["workload_sweep"], metavar="BENCH",
+                    help="benches whose baseline-only labels warn and "
+                         "skip instead of failing (default: "
+                         "workload_sweep, whose cell set grows with "
+                         "the workload registry)")
     args = ap.parse_args()
 
     diff = {"tolerance": args.tolerance, "benches": [], "ok": True}
     failures = []
+    warnings = []
     for name in args.benches:
         result = compare(name, args.baseline_dir, args.current_dir,
-                         args.tolerance)
+                         args.tolerance,
+                         allow_missing=name in args.allow_missing)
         diff["benches"].append(result)
         failures.extend(result["failures"])
+        warnings.extend(result["warnings"])
 
     diff["ok"] = not failures
     if args.out:
@@ -164,6 +182,9 @@ def main():
                       f"(baseline {entry.get('baseline')})")
             elif entry.get("verdict") == "new":
                 print(f"  NEW  {label}")
+
+    for w in warnings:
+        print(f"  WARN {w} (allowed; skipped)")
 
     if failures:
         print("\nBench regression gate FAILED:", file=sys.stderr)

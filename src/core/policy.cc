@@ -139,8 +139,13 @@ class Table1Policy final : public PerformancePolicy
         // L1 and memory controller would be pure waste.
         const bool at_l1 = env.self.type == MachineType::L1D ||
                            env.self.type == MachineType::L1I;
-        if (_row.usePredictor && at_l1)
-            _predictor = std::make_unique<ContentionPredictor>();
+        if (_row.usePredictor && at_l1) {
+            _predictor = env.params != nullptr
+                             ? std::make_unique<ContentionPredictor>(
+                                   env.params->contentionEntries,
+                                   env.params->contentionWays)
+                             : std::make_unique<ContentionPredictor>();
+        }
         if (_row.useFilter && env.self.type == MachineType::L2Bank)
             _filter = std::make_unique<SharerFilter>();
     }

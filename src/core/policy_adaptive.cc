@@ -153,9 +153,16 @@ class DestSetPolicy : public PerformancePolicy
     {
         // The predictor is trained and consulted only at L2 banks
         // (escalation is an L2 decision); L1/memory instances of the
-        // same policy class carry no table.
-        if (env.self.type == MachineType::L2Bank)
-            _pred = std::make_unique<CmpPredictor>();
+        // same policy class carry no table. Geometry comes from the
+        // TokenParams knobs so sweeps can search it without
+        // recompiling.
+        if (env.self.type == MachineType::L2Bank) {
+            _pred = env.params != nullptr
+                        ? std::make_unique<CmpPredictor>(
+                              env.params->cmpPredEntries,
+                              env.params->cmpPredWays)
+                        : std::make_unique<CmpPredictor>();
+        }
     }
 
     /** One (possibly) narrow attempt, then broadcast retries with
@@ -274,11 +281,17 @@ class BandwidthAdaptivePolicy final : public DestSetPolicy
     }
 
   private:
-    /** EWMA sample window and the utilization above which the links
-     *  count as busy (the inter links are 16 GB/s; a few percent of
-     *  sustained occupancy already means queueing bursts). */
+    /** EWMA sample window; the busy threshold itself is the
+     *  TokenParams::bwBusyUtil knob (the inter links are 16 GB/s; the
+     *  default 0.01 counts a few percent of sustained occupancy as
+     *  busy, since that already means queueing bursts). */
     static constexpr Tick kSampleWindow = ns(200);
-    static constexpr double kBusyUtil = 0.01;
+
+    double
+    busyUtil() const
+    {
+        return env.params != nullptr ? env.params->bwBusyUtil : 0.01;
+    }
 
     /**
      * Sample this CMP's outbound inter-CMP channel occupancy and fold
@@ -317,7 +330,7 @@ class BandwidthAdaptivePolicy final : public DestSetPolicy
             _lastNow = now;
             _lastBusy = busy;
         }
-        return _util >= kBusyUtil;
+        return _util >= busyUtil();
     }
 
     bool _sampled = false;

@@ -88,6 +88,27 @@ struct TokenParams
      */
     Tick responseDelay = ns(30);
 
+    /**
+     * dst1-pred contention-predictor table geometry (per-L1 tables).
+     * `entries` must be a nonzero multiple of `ways`; validated in
+     * SystemConfig::finalize() so sweep drivers can search geometries
+     * without recompiling.
+     */
+    unsigned contentionEntries = 256;
+    unsigned contentionWays = 4;
+
+    /** dst-owner / bw-adapt CMP-owner predictor table geometry
+     *  (per-L2-bank tables); same multiple-of-ways constraint. */
+    unsigned cmpPredEntries = 512;
+    unsigned cmpPredWays = 4;
+
+    /**
+     * bw-adapt: inter-CMP link utilization (EWMA occupancy fraction in
+     * [0, 1]) above which escalations fall back to broadcast instead
+     * of trusting the owner prediction.
+     */
+    double bwBusyUtil = 0.01;
+
     TokenPolicy policy;
 };
 

@@ -151,6 +151,20 @@ SystemConfig::displayName() const
     return protocolName(protocol);
 }
 
+namespace {
+
+void
+checkTableGeometry(const char *what, unsigned entries, unsigned ways)
+{
+    if (ways == 0 || entries == 0 || entries % ways != 0) {
+        fatal("%s table geometry %u entries / %u ways is invalid "
+              "(entries must be a nonzero multiple of ways)",
+              what, entries, ways);
+    }
+}
+
+} // namespace
+
 void
 SystemConfig::finalize()
 {
@@ -159,12 +173,28 @@ SystemConfig::finalize()
     _finalized = true;
     _finalizedFor = protocol;
     _finalizedPolicy = policyName;
+    _finalizedWorkload = workloadName;
 
     if (!policyName.empty() && !isToken(protocol)) {
         fatal("policyName '%s' requires a TokenCMP protocol "
               "(configured protocol is %s)",
               policyName.c_str(), protocolName(protocol));
     }
+
+    // Per-policy knobs: validated unconditionally (the defaults are
+    // valid), so a sweep that mutates them cannot smuggle a broken
+    // geometry into a later token run.
+    checkTableGeometry("contention predictor", token.contentionEntries,
+                       token.contentionWays);
+    checkTableGeometry("CMP-owner predictor", token.cmpPredEntries,
+                       token.cmpPredWays);
+    if (token.bwBusyUtil < 0.0 || token.bwBusyUtil > 1.0) {
+        fatal("bw-adapt busy-utilization threshold %f out of range "
+              "[0, 1]", token.bwBusyUtil);
+    }
+
+    if (!workloadName.empty())
+        workloadParams.validate(workloadName);
 
     if (customPolicy) {
         // Ablation mode: only the directory latency presets apply.

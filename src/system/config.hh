@@ -14,6 +14,7 @@
 #include "directory/dir_config.hh"
 #include "net/machine.hh"
 #include "net/network.hh"
+#include "workload/workload_params.hh"
 
 namespace tokencmp {
 
@@ -157,6 +158,21 @@ struct SystemConfig
      */
     std::string policyName;
 
+    /**
+     * Workload selection by WorkloadRegistry name ("locking", "zipf",
+     * "phased", ...). Empty (the default) means the caller supplies a
+     * workload object or factory directly, as before the registry
+     * existed. When set, `Experiment` builds the workload from the
+     * registry with `workloadParams`; finalize() validates the knob
+     * table, and an unknown name is diagnosed (listing every
+     * registered workload) when the workload is created.
+     */
+    std::string workloadName;
+
+    /** Knob table for `workloadName` (skew, key count, write
+     *  fraction, phase schedule, ...); validated in finalize(). */
+    WorkloadParams workloadParams;
+
     /** Row/figure label: "TokenCMP-<policyName>" when a named policy
      *  is selected, protocolName(protocol) otherwise. */
     std::string displayName() const;
@@ -171,20 +187,22 @@ struct SystemConfig
      */
     void finalize();
 
-    /** Whether finalize() has been applied for the current protocol
-     *  and policy selection (changing either re-arms it, so the
-     *  policyName/protocol compatibility check cannot be bypassed by
-     *  assigning policyName after a finalize()). */
+    /** Whether finalize() has been applied for the current protocol,
+     *  policy and workload selection (changing any re-arms it, so the
+     *  compatibility and knob checks cannot be bypassed by assigning
+     *  after a finalize()). */
     bool finalized() const
     {
         return _finalized && _finalizedFor == protocol &&
-               _finalizedPolicy == policyName;
+               _finalizedPolicy == policyName &&
+               _finalizedWorkload == workloadName;
     }
 
   private:
     bool _finalized = false;
     Protocol _finalizedFor = Protocol::TokenDst1;
     std::string _finalizedPolicy;
+    std::string _finalizedWorkload;
 };
 
 } // namespace tokencmp

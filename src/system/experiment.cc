@@ -9,6 +9,7 @@
 
 #include "core/policy.hh"
 #include "sim/logging.hh"
+#include "workload/workload_registry.hh"
 
 namespace tokencmp {
 
@@ -121,6 +122,13 @@ ExperimentRunner::policies(std::vector<std::string> names)
 }
 
 ExperimentRunner &
+ExperimentRunner::workloads(std::vector<std::string> names)
+{
+    _workloads = std::move(names);
+    return *this;
+}
+
+ExperimentRunner &
 ExperimentRunner::parallelism(unsigned n)
 {
     _parallelism = n;
@@ -151,6 +159,26 @@ ExperimentRunner::onSeedDone(ProgressFn fn)
 std::vector<ExperimentResult>
 ExperimentRunner::runSweep() const
 {
+    if (!_workloads.empty()) {
+        // Fail fast on typos before any cell simulates.
+        for (const std::string &name : _workloads) {
+            if (!WorkloadRegistry::instance().known(name)) {
+                fatal("ExperimentRunner: unknown workload '%s' in the "
+                      "workloads() sweep", name.c_str());
+            }
+        }
+        std::vector<ExperimentResult> out;
+        for (const std::string &name : _workloads) {
+            ExperimentRunner cell = *this;
+            cell._workloads.clear();
+            cell._cfg.workloadName = name;
+            cell._factory = nullptr;  // the named workload drives cells
+            std::vector<ExperimentResult> sub = cell.runSweep();
+            for (ExperimentResult &r : sub)
+                out.push_back(std::move(r));
+        }
+        return out;
+    }
     if (_policies.empty())
         return {run()};
     if (!isToken(_cfg.protocol)) {
@@ -183,13 +211,28 @@ ExperimentRunner::run() const
     if (!_policies.empty())
         fatal("ExperimentRunner: a policies() sweep is pending; "
               "use runSweep()");
-    if (!_factory)
-        fatal("ExperimentRunner: no workload factory set");
+    if (!_workloads.empty())
+        fatal("ExperimentRunner: a workloads() sweep is pending; "
+              "use runSweep()");
     if (_seeds == 0)
         fatal("ExperimentRunner: seeds must be >= 1");
 
     SystemConfig base = _cfg;
     base.finalize();
+
+    // An explicit factory wins; otherwise the config names a
+    // registered workload (validated by finalize() above).
+    WorkloadFactory factory = _factory;
+    if (!factory) {
+        if (base.workloadName.empty()) {
+            fatal("ExperimentRunner: no workload — set a workload() "
+                  "factory or name one via SystemConfig::workloadName");
+        }
+        factory = [name = base.workloadName,
+                   wp = base.workloadParams]() {
+            return WorkloadRegistry::instance().create(name, wp);
+        };
+    }
 
     const unsigned n = _seeds;
     std::vector<std::optional<System::RunResult>> results(n);
@@ -205,7 +248,7 @@ ExperimentRunner::run() const
             // Factories are usually cheap closures over parameters;
             // serialize the calls so they need not be thread-safe.
             std::lock_guard<std::mutex> lock(mu);
-            wl = _factory();
+            wl = factory();
         }
         wl->reset();
         System sys(cfg);

@@ -92,6 +92,14 @@ class ExperimentRunner
      * protocol in the base config). Execute with runSweep().
      */
     ExperimentRunner &policies(std::vector<std::string> names);
+    /**
+     * Workload sweep axis: run the whole experiment once per named
+     * workload (WorkloadRegistry names, parameterized by the base
+     * config's workloadParams). Crosses with a policies() sweep —
+     * results are ordered workload-major — and overrides any
+     * workload() factory. Execute with runSweep().
+     */
+    ExperimentRunner &workloads(std::vector<std::string> names);
     /** Worker threads; 1 (default) runs serially on this thread. */
     ExperimentRunner &parallelism(unsigned n);
     ExperimentRunner &horizon(Tick t);
@@ -104,8 +112,11 @@ class ExperimentRunner
      */
     ExperimentRunner &onSeedDone(ProgressFn fn);
 
-    /** Execute all seeds and aggregate. Fatal if no workload was set
-     *  or a policies() sweep is pending (use runSweep()). */
+    /** Execute all seeds and aggregate. The workload comes from the
+     *  workload() factory, or — when none is set — from the base
+     *  config's workloadName via the WorkloadRegistry. Fatal if
+     *  neither names a workload, or a policies()/workloads() sweep is
+     *  pending (use runSweep()). */
     ExperimentResult run() const;
 
     /**
@@ -122,6 +133,7 @@ class ExperimentRunner
     SystemConfig _cfg;
     WorkloadFactory _factory;
     std::vector<std::string> _policies;
+    std::vector<std::string> _workloads;
     unsigned _seeds = 1;
     unsigned _parallelism = 1;
     Tick _horizon = ns(500000000);

@@ -127,10 +127,102 @@ System::runSharded(unsigned num_threads, Tick horizon)
     return kernel.run(horizon) == ShardedKernel::Outcome::Stopped;
 }
 
+bool
+System::runThreads(std::vector<std::unique_ptr<ThreadContext>> &threads,
+                   Tick horizon)
+{
+    const unsigned n = unsigned(threads.size());
+    _finished.store(0, std::memory_order_relaxed);
+    for (unsigned p = 0; p < n; ++p) {
+        ThreadContext *raw = threads[p].get();
+        raw->notifyOnFinish(&_finished);
+        contextForProc(p).eventq.schedule(0, [raw]() { raw->start(); });
+    }
+    if (_ctxs.size() == 1) {
+        // Completion is a finish-counter comparison — O(1) per event
+        // instead of scanning every thread after every event.
+        auto all_done = [this, n]() {
+            return _finished.load(std::memory_order_relaxed) >= n;
+        };
+        return context().eventq.runUntil(all_done, horizon);
+    }
+    return runSharded(n, horizon);
+}
+
+void
+System::drain()
+{
+    if (_ctxs.size() == 1) {
+        context().eventq.run(context().eventq.curTick() + ns(1000000));
+        return;
+    }
+    Tick cur = 0;
+    for (auto &ctx : _ctxs)
+        cur = std::max(cur, ctx->eventq.curTick());
+    runSharded(0, cur + ns(1000000));
+}
+
 System::RunResult
 System::run(Workload &workload, Tick horizon)
 {
     const unsigned n = _cfg.topo.numProcs();
+    RunResult res;
+
+    // Optional warm-up phase: run the workload's warm-up program to
+    // completion, drain the in-flight protocol traffic it caused, and
+    // snapshot/clear every counter — so the measured phase reports
+    // only steady-state traffic, not cold misses (per-miss metrics
+    // would otherwise be diluted).
+    StatSet warm_snapshot;
+    Tick measure_from = 0;
+    {
+        std::vector<std::unique_ptr<ThreadContext>> warm;
+        warm.reserve(n);
+        unsigned provided = 0;
+        for (unsigned p = 0; p < n; ++p) {
+            warm.push_back(workload.makeWarmupThread(
+                contextForProc(p), sequencer(p), n,
+                _cfg.seed * 7919 + p * 104729 + 500009));
+            if (warm.back() != nullptr)
+                ++provided;
+        }
+        if (provided != 0 && provided != n) {
+            panic("workload '%s' provided warm-up threads for %u of %u "
+                  "processors (warm-up is all-or-nothing)",
+                  workload.name().c_str(), provided, n);
+        }
+        if (provided == n) {
+            if (!runThreads(warm, horizon))
+                return res;  // warm-up never finished: incomplete run
+            drain();
+            for (auto &ctx : _ctxs) {
+                measure_from =
+                    std::max(measure_from, ctx->eventq.curTick());
+            }
+            // A queue's clock rests at its *last executed* event, so
+            // after a sharded drain the shard clocks diverge. Re-align
+            // them on the common post-drain tick before the measured
+            // threads start, or a shard left behind could deliver into
+            // a shard ahead — "scheduling event in the past". The tick
+            // is derived from the drained execution, which is
+            // bit-identical across worker counts, so the alignment is
+            // too.
+            for (auto &ctx : _ctxs) {
+                if (ctx->eventq.curTick() < measure_from) {
+                    ctx->eventq.scheduleAbs(measure_from, []() {});
+                    ctx->eventq.run(measure_from);
+                }
+            }
+            // Network counters reset outright; protocol counters are
+            // monotonic and owned by live controllers, so they are
+            // snapshotted here (post-clearStats the network keys
+            // snapshot as zero) and subtracted after the measured run.
+            _net->clearStats();
+            harvest(warm_snapshot);
+            _proto->exportRunStats(warm_snapshot);
+        }
+    }
+
     std::vector<std::unique_ptr<ThreadContext>> threads;
     threads.reserve(n);
     for (unsigned p = 0; p < n; ++p) {
@@ -138,49 +230,36 @@ System::run(Workload &workload, Tick horizon)
             contextForProc(p), sequencer(p), n,
             _cfg.seed * 7919 + p * 104729 + 1));
     }
-    _finished.store(0, std::memory_order_relaxed);
-    for (unsigned p = 0; p < n; ++p) {
-        ThreadContext *raw = threads[p].get();
-        raw->notifyOnFinish(&_finished);
-        contextForProc(p).eventq.schedule(0, [raw]() { raw->start(); });
-    }
-
-    RunResult res;
-    if (_ctxs.size() == 1) {
-        // Completion is a finish-counter comparison — O(1) per event
-        // instead of scanning every thread after every event.
-        auto all_done = [this, n]() {
-            return _finished.load(std::memory_order_relaxed) >= n;
-        };
-        res.completed = context().eventq.runUntil(all_done, horizon);
-    } else {
-        res.completed = runSharded(n, horizon);
-    }
+    res.completed = runThreads(threads, horizon);
 
     // Runtime comes from the finish ticks as of the completion check
     // (before the drain below, which may retire further threads in
     // horizon-truncated runs).
     for (const auto &th : threads)
         res.runtime = std::max(res.runtime, th->finishTick());
-    // Exclude any cache-warming phase from the reported runtime.
-    const Tick measure_start = workload.measureStart();
+    // Exclude any cache-warming phase from the reported runtime —
+    // whether the workload tracks its own (measureStart) or the
+    // harness ran a separate warm-up program.
+    const Tick measure_start =
+        std::max(workload.measureStart(), measure_from);
     res.runtime -= std::min(res.runtime, measure_start);
 
     // Drain in-flight protocol traffic, then verify quiescence.
-    if (_ctxs.size() == 1) {
-        context().eventq.run(context().eventq.curTick() + ns(1000000));
-    } else {
-        Tick cur = 0;
-        for (auto &ctx : _ctxs)
-            cur = std::max(cur, ctx->eventq.curTick());
-        runSharded(0, cur + ns(1000000));
-    }
+    drain();
     if (res.completed)
         _proto->verifyQuiescent(true);
 
     res.violations = workload.violations();
     harvest(res.stats);
     _proto->exportRunStats(res.stats);
+
+    // Remove the warm-up phase's share of the monotonic counters.
+    for (const auto &[key, warm_val] : warm_snapshot.all()) {
+        if (res.stats.has(key)) {
+            const double measured = res.stats.get(key) - warm_val;
+            res.stats.set(key, measured < 0.0 ? 0.0 : measured);
+        }
+    }
     return res;
 }
 

@@ -193,6 +193,14 @@ class System
      */
     bool runSharded(unsigned num_threads, Tick horizon);
 
+    /** Start `threads` and run until all finish (true) or `horizon`
+     *  passes, on whichever kernel the config selects. */
+    bool runThreads(std::vector<std::unique_ptr<ThreadContext>> &threads,
+                    Tick horizon);
+
+    /** Bounded drain of in-flight protocol traffic. */
+    void drain();
+
     SystemConfig _cfg;
     std::vector<std::unique_ptr<SimContext>> _ctxs;
     std::vector<unsigned> _domainOf;  //!< controller -> shard domain

@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "workload/workload_registry.hh"
+
 namespace tokencmp {
 
 namespace {
+
+const WorkloadRegistrar regBarrier(
+    "barrier", [](const WorkloadParams &wp) {
+        BarrierParams p;
+        if (wp.opsPerProc != 0)
+            p.phases = wp.opsPerProc;
+        if (wp.thinkMean != 0)
+            p.workTime = wp.thinkMean;
+        return std::make_unique<BarrierWorkload>(p);
+    });
 
 /** One processor's work/barrier loop. */
 class BarrierThread : public ThreadContext

@@ -1,8 +1,24 @@
 #include "workload/locking.hh"
 
+#include "workload/workload_registry.hh"
+
 namespace tokencmp {
 
 namespace {
+
+const WorkloadRegistrar regLocking(
+    "locking", [](const WorkloadParams &wp) {
+        LockingParams p;
+        if (wp.opsPerProc != 0)
+            p.acquiresPerProc = wp.opsPerProc;
+        if (wp.keys != 0)
+            p.numLocks = unsigned(wp.keys);
+        if (wp.thinkMean != 0)
+            p.thinkTime = wp.thinkMean;
+        if (wp.warmupOps == 0)
+            p.warmup = false;
+        return std::make_unique<LockingWorkload>(p);
+    });
 
 /** One processor's acquire/release loop. */
 class LockingThread : public ThreadContext

@@ -1,0 +1,197 @@
+#include "workload/phased.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+#include "workload/workload_registry.hh"
+
+namespace tokencmp {
+
+namespace {
+
+[[noreturn]] void
+badSchedule(const std::string &spec, const char *why)
+{
+    panic("malformed phase schedule '%s': %s (grammar: "
+          "comma-separated '<mult>x<ns>' or '<from>..<to>x<ns>', "
+          "e.g. '1x4000,0.25x2000,0.25..1x2000')",
+          spec.c_str(), why);
+}
+
+/** Parse a strictly-positive double consuming the whole token. */
+double
+parseMult(const std::string &spec, const std::string &tok)
+{
+    char *end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size() || tok.empty())
+        badSchedule(spec, "multiplier is not a number");
+    if (!(v > 0.0))
+        badSchedule(spec, "multiplier must be > 0");
+    return v;
+}
+
+} // namespace
+
+std::vector<PhasePoint>
+parsePhaseSchedule(const std::string &spec)
+{
+    std::vector<PhasePoint> out;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string tok = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+
+        const std::size_t x = tok.rfind('x');
+        if (x == std::string::npos || x == 0 || x + 1 >= tok.size())
+            badSchedule(spec, "phase is not '<mult>x<duration-ns>'");
+        std::string mults = tok.substr(0, x);
+        const std::string durs = tok.substr(x + 1);
+
+        char *end = nullptr;
+        const unsigned long long dur_ns =
+            std::strtoull(durs.c_str(), &end, 10);
+        if (end != durs.c_str() + durs.size() || dur_ns == 0)
+            badSchedule(spec, "duration must be a positive ns count");
+
+        PhasePoint p;
+        const std::size_t dots = mults.find("..");
+        if (dots == std::string::npos) {
+            p.mult0 = p.mult1 = parseMult(spec, mults);
+        } else {
+            p.mult0 = parseMult(spec, mults.substr(0, dots));
+            p.mult1 = parseMult(spec, mults.substr(dots + 2));
+        }
+        p.dur = ns(Tick(dur_ns));
+        out.push_back(p);
+    }
+    if (out.empty())
+        badSchedule(spec, "no phases");
+    return out;
+}
+
+namespace {
+
+/** The cyclic schedule as a pure function of (dur, now). */
+class PhaseShaper final : public LoadShaper
+{
+  public:
+    PhaseShaper(const std::vector<PhasePoint> &sched, Tick cycle,
+                Tick offset)
+        : _sched(sched), _cycle(cycle), _offset(offset)
+    {}
+
+    Tick
+    shape(Tick dur, Tick now) const override
+    {
+        Tick t = (now + _offset) % _cycle;
+        for (const PhasePoint &p : _sched) {
+            if (t >= p.dur) {
+                t -= p.dur;
+                continue;
+            }
+            const double frac = double(t) / double(p.dur);
+            const double mult =
+                p.mult0 + (p.mult1 - p.mult0) * frac;
+            const double shaped = double(dur) * mult;
+            return shaped < 1.0 ? Tick(1) : Tick(shaped);
+        }
+        return dur;  // unreachable: t < _cycle = sum of durs
+    }
+
+  private:
+    const std::vector<PhasePoint> &_sched;
+    Tick _cycle;
+    Tick _offset;
+};
+
+/** Deterministic per-thread schedule offset from the thread seed. */
+Tick
+offsetFromSeed(std::uint64_t seed, Tick cycle)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return Tick(z % cycle);
+}
+
+PhasedParams
+fromKnobs(const WorkloadParams &wp)
+{
+    PhasedParams p;
+    if (!wp.inner.empty())
+        p.inner = wp.inner;
+    if (!wp.schedule.empty())
+        p.schedule = wp.schedule;
+    p.innerKnobs = wp;
+    p.innerKnobs.inner.clear();      // consumed by the wrapper,
+    p.innerKnobs.schedule.clear();   // not forwarded
+    return p;
+}
+
+const WorkloadRegistrar regPhased(
+    "phased", [](const WorkloadParams &wp) {
+        return std::make_unique<PhasedWorkload>(wp);
+    });
+
+} // namespace
+
+PhasedWorkload::PhasedWorkload(const PhasedParams &p)
+    : _p(p), _sched(parsePhaseSchedule(p.schedule))
+{
+    if (_p.inner == "phased")
+        panic("workload 'phased' cannot wrap itself");
+    for (const PhasePoint &pt : _sched)
+        _cycle += pt.dur;
+    _inner = WorkloadRegistry::instance().create(_p.inner,
+                                                 _p.innerKnobs);
+}
+
+PhasedWorkload::PhasedWorkload(const WorkloadParams &wp)
+    : PhasedWorkload(fromKnobs(wp))
+{}
+
+std::unique_ptr<ThreadContext>
+PhasedWorkload::makeThread(SimContext &ctx, Sequencer &seq,
+                           unsigned num_procs, std::uint64_t seed)
+{
+    auto thread = _inner->makeThread(ctx, seq, num_procs, seed);
+    _shapers.push_back(std::make_unique<PhaseShaper>(
+        _sched, _cycle, offsetFromSeed(seed, _cycle)));
+    thread->setLoadShaper(_shapers.back().get());
+    return thread;
+}
+
+std::unique_ptr<ThreadContext>
+PhasedWorkload::makeWarmupThread(SimContext &ctx, Sequencer &seq,
+                                 unsigned num_procs, std::uint64_t seed)
+{
+    // Warm-up exists to populate caches, not to exercise the load
+    // shape — delegate unshaped.
+    return _inner->makeWarmupThread(ctx, seq, num_procs, seed);
+}
+
+void
+PhasedWorkload::reset()
+{
+    _shapers.clear();
+    _inner->reset();
+}
+
+std::uint64_t
+PhasedWorkload::violations() const
+{
+    return _inner->violations();
+}
+
+Tick
+PhasedWorkload::measureStart() const
+{
+    return _inner->measureStart();
+}
+
+} // namespace tokencmp

@@ -1,6 +1,26 @@
 #include "workload/synthetic.hh"
 
+#include "workload/workload_registry.hh"
+
 namespace tokencmp {
+
+namespace {
+
+const WorkloadRegistrar regSynthetic(
+    "synthetic", [](const WorkloadParams &wp) {
+        SyntheticParams p;
+        if (wp.opsPerProc != 0)
+            p.opsPerProc = wp.opsPerProc;
+        if (wp.keys != 0)
+            p.migratoryBlocks = unsigned(wp.keys);
+        if (wp.writeFrac >= 0.0)
+            p.privateWriteFrac = wp.writeFrac;
+        if (wp.thinkMean != 0)
+            p.thinkMean = wp.thinkMean;
+        return std::make_unique<SyntheticWorkload>(p);
+    });
+
+} // namespace
 
 SyntheticParams
 oltpParams()

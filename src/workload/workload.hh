@@ -28,6 +28,26 @@ class Workload
     makeThread(SimContext &ctx, Sequencer &seq, unsigned num_procs,
                std::uint64_t seed) = 0;
 
+    /**
+     * Create a warm-up thread for this processor, or nullptr if the
+     * workload has no separate warm-up phase. When every processor
+     * returns a thread, System::run executes the warm-up program to
+     * completion, drains the protocol, and zeroes all traffic and
+     * protocol counters before creating the measured threads — so
+     * per-miss metrics are not diluted by cold misses. A workload must
+     * be all-or-nothing here (the harness panics on a mix).
+     */
+    virtual std::unique_ptr<ThreadContext>
+    makeWarmupThread(SimContext &ctx, Sequencer &seq, unsigned num_procs,
+                     std::uint64_t seed)
+    {
+        (void)ctx;
+        (void)seq;
+        (void)num_procs;
+        (void)seed;
+        return nullptr;
+    }
+
     /** Reset shared bookkeeping before a fresh run. */
     virtual void reset() {}
 
