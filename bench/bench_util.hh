@@ -72,6 +72,35 @@ class JsonReport
     /** Append a raw JSON object (for non-Experiment rows). */
     void addRaw(const std::string &json) { _cells.push_back(json); }
 
+    /**
+     * Build-provenance block stamped into every report: the commit
+     * that produced the numbers (configure-time; "-dirty" when the
+     * tree had uncommitted changes), the compiler and flags that
+     * built it, and the host's hardware-thread count — the three
+     * things needed to judge whether two perf datapoints are
+     * comparable at all.
+     */
+    static std::string
+    metaJson()
+    {
+#ifndef TOKENCMP_GIT_SHA
+#define TOKENCMP_GIT_SHA "unknown"
+#endif
+#ifndef TOKENCMP_COMPILER
+#define TOKENCMP_COMPILER "unknown"
+#endif
+#ifndef TOKENCMP_BUILD_FLAGS
+#define TOKENCMP_BUILD_FLAGS ""
+#endif
+        return std::string("{\"gitSha\": ") +
+               json::quote(TOKENCMP_GIT_SHA) +
+               ", \"compiler\": " + json::quote(TOKENCMP_COMPILER) +
+               ", \"flags\": " + json::quote(TOKENCMP_BUILD_FLAGS) +
+               ", \"hwThreads\": " +
+               std::to_string(std::thread::hardware_concurrency()) +
+               "}";
+    }
+
     void
     write() const
     {
@@ -82,8 +111,8 @@ class JsonReport
                          path.c_str());
             return;
         }
-        std::fprintf(f, "{\"bench\": %s, \"cells\": [",
-                     json::quote(_name).c_str());
+        std::fprintf(f, "{\"bench\": %s, \"meta\": %s, \"cells\": [",
+                     json::quote(_name).c_str(), metaJson().c_str());
         for (std::size_t i = 0; i < _cells.size(); ++i)
             std::fprintf(f, "%s%s", i ? ",\n  " : "\n  ",
                          _cells[i].c_str());

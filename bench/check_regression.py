@@ -45,8 +45,8 @@ import os
 import sys
 
 
-def load_cells(path):
-    """Return {label: cell-dict} for one BENCH_*.json record."""
+def load_record(path):
+    """Return ({label: cell-dict}, meta-dict) for one BENCH_*.json."""
     with open(path) as f:
         record = json.load(f)
     cells = {}
@@ -54,7 +54,7 @@ def load_cells(path):
         label = cell.get("label")
         if label:
             cells[label] = cell
-    return cells
+    return cells, record.get("meta", {})
 
 
 def compare(name, baseline_dir, current_dir, tolerance,
@@ -71,8 +71,11 @@ def compare(name, baseline_dir, current_dir, tolerance,
         result["failures"].append(f"missing current record: {cur_path}")
         return result
 
-    base = load_cells(base_path)
-    cur = load_cells(cur_path)
+    base, base_meta = load_record(base_path)
+    cur, cur_meta = load_record(cur_path)
+    # Provenance travels with the diff artifact: which commit/compiler
+    # produced each side decides whether a drift is even meaningful.
+    result["meta"] = {"baseline": base_meta, "current": cur_meta}
 
     # metric key -> (unit, True when higher values are better)
     gated_metrics = {"eventsPerSec": ("ev/s", True),
@@ -125,6 +128,16 @@ def compare(name, baseline_dir, current_dir, tolerance,
 
     for label in sorted(set(cur) - set(base)):
         result["cells"].append({"label": label, "verdict": "new"})
+
+    # Old -> new summary over the gated cells: one number per bench
+    # for the PR-diff reader, beyond the per-cell rows.
+    changes = [e["change"] for e in result["cells"]
+               if "change" in e and e.get("metric")]
+    if changes:
+        result["summary"] = {
+            "gatedCells": len(changes),
+            "meanChange": sum(changes) / len(changes),
+        }
     return result
 
 
@@ -182,6 +195,13 @@ def main():
                       f"(baseline {entry.get('baseline')})")
             elif entry.get("verdict") == "new":
                 print(f"  NEW  {label}")
+
+    for result in diff["benches"]:
+        s = result.get("summary")
+        if s:
+            print(f"  ---- {result['bench']}: mean old->new delta "
+                  f"{s['meanChange']:+.1%} over {s['gatedCells']} "
+                  f"gated cell(s)")
 
     for w in warnings:
         print(f"  WARN {w} (allowed; skipped)")

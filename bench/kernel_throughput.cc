@@ -251,6 +251,21 @@ main()
         std::printf("\nFAIL: wheel kernel below 2x seed kernel\n");
         return 1;
     }
+    // Hot-path memory/layout pass floor: the seed kernel is frozen in
+    // this file, so wheel/seed is the one number that compares across
+    // runner classes. Pre-pass the committed ratio was 3.28x; the pass
+    // lifted the wheel cell ~15% (measured back-to-back, best-of-3),
+    // putting the expected ratio near 3.8. Gate at 3.6 — +10% over
+    // pre-pass with headroom for run noise — and let the raised
+    // absolute baseline in bench/baselines/kernel_throughput.json pin
+    // the full +15% via check_regression.py on the same Release g++
+    // CI leg.
+    if (speedup < 3.6) {
+        std::printf("\nFAIL: wheel kernel %.2fx seed kernel; the "
+                    "hot-path pass requires >= 3.6x (pre-pass ratio "
+                    "was 3.28x)\n", speedup);
+        return 1;
+    }
     std::printf("\nPASS: wheel kernel %.2fx seed kernel\n", speedup);
     return 0;
 }

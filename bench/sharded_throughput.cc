@@ -226,10 +226,13 @@ rawCell(const std::string &label, double events_per_sec)
 /** Full-system datapoint: TokenCMP + locking, serial vs sharded
  *  under a chosen shard map. Prints under `label` but does not
  *  record (callers record the best of their attempts, so the printed
- *  and recorded labels are the same string). */
+ *  and recorded labels are the same string). `windows_out` reports
+ *  the deterministic window-round count (lookahead quality, immune
+ *  to wall-clock noise). */
 double
 systemThroughput(const std::string &label, unsigned shards,
-                 ShardMapKind map = ShardMapKind::PerCmp)
+                 ShardMapKind map = ShardMapKind::PerCmp,
+                 std::uint64_t *windows_out = nullptr)
 {
     SystemConfig cfg;
     cfg.protocol = Protocol::TokenDst1;
@@ -254,9 +257,13 @@ systemThroughput(const std::string &label, unsigned shards,
     for (unsigned d = 0; d < sys.numDomains(); ++d)
         events += sys.domainContext(d).eventq.executed();
     const double ev_s = double(events) / secs;
-    std::printf("%-34s %12.3e ev/s  (completed=%d runtime=%llu)\n",
+    if (windows_out != nullptr)
+        *windows_out = sys.shardedWindows();
+    std::printf("%-34s %12.3e ev/s  (completed=%d runtime=%llu "
+                "windows=%llu)\n",
                 label.c_str(), ev_s, int(r.completed),
-                static_cast<unsigned long long>(r.runtime));
+                static_cast<unsigned long long>(r.runtime),
+                static_cast<unsigned long long>(sys.shardedWindows()));
     return ev_s;
 }
 
@@ -333,12 +340,28 @@ main()
         {"system_locking_shards4", 4},
         {"system_locking_shards8", 8},
     };
-    for (const auto &[label, shards] : system_cells)
-        report.addRaw(rawCell(label, systemThroughput(label, shards)));
+    for (const auto &[label, shards] : system_cells) {
+        std::uint64_t windows = 0;
+        const double ev_s = systemThroughput(label, shards,
+                                             ShardMapKind::PerCmp,
+                                             &windows);
+        report.addRaw(rawCell(label, ev_s));
+        // Window rounds are deterministic (no wall-clock noise), so
+        // they track lookahead-matrix quality directly: the per-type
+        // serialization floor widens every matrix entry and must show
+        // up here as fewer barriers for the same simulated work.
+        if (shards > 0) {
+            report.addRaw("{\"label\": " +
+                          json::quote(std::string(label) + "_windows") +
+                          ", \"windows\": " +
+                          json::number(double(windows)) + "}");
+        }
+    }
     // Full-system sub-CMP datapoint (informational: window sizes drop
-    // to the 2 ns intra latency, so the barrier cadence, not worker
-    // count, dominates on small hosts). Best of two attempts under
-    // one label.
+    // to the intra-CMP hop bound — 2 ns crossbar latency plus the
+    // control-message serialization floor — so the barrier cadence,
+    // not worker count, dominates on small hosts). Best of two
+    // attempts under one label.
     const std::string perl1bank_label =
         "system_locking_shards8_perL1Bank";
     double perl1bank8 = 0.0;

@@ -6,15 +6,21 @@
  * retried (times out); when the counter saturates, the policy skips
  * the transient request and issues a persistent request immediately.
  * Counters are reset pseudo-randomly to adapt to phase changes.
+ *
+ * The table organization (sets, tags, LRU victim order) lives in
+ * SetAssocTable; this class owns only the counter policy. The lru
+ * stamp is bumped on allocation alone — hits deliberately do not
+ * refresh it, so a block that keeps hitting still ages out of a busy
+ * set (the pre-refactor behavior, pinned by fixed-seed dst1-pred
+ * figures).
  */
 
 #ifndef TOKENCMP_CORE_CONTENTION_PREDICTOR_HH
 #define TOKENCMP_CORE_CONTENTION_PREDICTOR_HH
 
 #include <cstdint>
-#include <vector>
 
-#include "sim/logging.hh"
+#include "core/set_assoc_table.hh"
 #include "sim/random.hh"
 #include "sim/types.hh"
 
@@ -26,32 +32,33 @@ class ContentionPredictor
   public:
     explicit ContentionPredictor(unsigned entries = 256,
                                  unsigned ways = 4)
-        : _ways(ways), _sets(checkedSets(entries, ways)),
-          _entries(entries)
+        : _table("ContentionPredictor", entries, ways)
     {}
 
     /** Should the requester go straight to a persistent request? */
     bool
     predictContended(Addr addr) const
     {
-        const Entry *e = find(addr);
-        return e != nullptr && e->counter >= 2;
+        const Table::Entry *e = _table.find(addr);
+        return e != nullptr && e->data.counter >= 2;
     }
 
     /** A transient request for `addr` timed out: allocate/increment. */
     void
     recordRetry(Addr addr, Random &rng)
     {
-        Entry *e = find(addr);
-        if (e == nullptr)
-            e = allocate(addr);
-        if (e->counter < 3)
-            ++e->counter;
+        Table::Entry *e = _table.find(addr);
+        if (e == nullptr) {
+            e = _table.allocate(addr);
+            _table.touch(*e);
+        }
+        if (e->data.counter < 3)
+            ++e->data.counter;
         // Pseudo-random reset for phase adaptation.
         if (rng.chance(1.0 / 64.0)) {
-            Entry &victim =
-                _entries[rng.uniform(_entries.size())];
-            victim.counter = 0;
+            Table::Entry &victim =
+                _table.entryAt(rng.uniform(_table.capacity()));
+            victim.data.counter = 0;
         }
     }
 
@@ -59,85 +66,19 @@ class ContentionPredictor
     void
     recordSuccess(Addr addr)
     {
-        Entry *e = find(addr);
-        if (e != nullptr && e->counter > 0)
-            --e->counter;
+        Table::Entry *e = _table.find(addr);
+        if (e != nullptr && e->data.counter > 0)
+            --e->data.counter;
     }
 
   private:
-    struct Entry
+    struct Counter
     {
-        bool valid = false;
-        Addr tag = 0;
-        std::uint8_t counter = 0;
-        std::uint64_t lru = 0;
+        std::uint8_t counter = 0; //!< 2-bit saturating (0..3)
     };
+    using Table = SetAssocTable<Counter>;
 
-    /**
-     * Validate geometry *before* any division can fault. A silently
-     * truncated set count (entries % ways != 0) would strand the tail
-     * entries and skew setIndex(); reject it.
-     */
-    static std::size_t
-    checkedSets(unsigned entries, unsigned ways)
-    {
-        if (ways == 0 || entries == 0 || entries % ways != 0)
-            panic("ContentionPredictor: entries (%u) must be a "
-                  "nonzero multiple of ways (%u)", entries, ways);
-        return entries / ways;
-    }
-
-    std::size_t
-    setIndex(Addr addr) const
-    {
-        return static_cast<std::size_t>(blockNumber(addr)) % _sets;
-    }
-
-    const Entry *
-    find(Addr addr) const
-    {
-        const Addr blk = blockAlign(addr);
-        const std::size_t base = setIndex(addr) * _ways;
-        for (unsigned w = 0; w < _ways; ++w) {
-            const Entry &e = _entries[base + w];
-            if (e.valid && e.tag == blk)
-                return &e;
-        }
-        return nullptr;
-    }
-
-    Entry *
-    find(Addr addr)
-    {
-        return const_cast<Entry *>(
-            static_cast<const ContentionPredictor *>(this)->find(addr));
-    }
-
-    Entry *
-    allocate(Addr addr)
-    {
-        const std::size_t base = setIndex(addr) * _ways;
-        Entry *victim = &_entries[base];
-        for (unsigned w = 0; w < _ways; ++w) {
-            Entry &e = _entries[base + w];
-            if (!e.valid) {
-                victim = &e;
-                break;
-            }
-            if (e.lru < victim->lru)
-                victim = &e;
-        }
-        victim->valid = true;
-        victim->tag = blockAlign(addr);
-        victim->counter = 0;
-        victim->lru = ++_useCounter;
-        return victim;
-    }
-
-    unsigned _ways;
-    std::size_t _sets;
-    std::vector<Entry> _entries;
-    std::uint64_t _useCounter = 0;
+    Table _table;
 };
 
 } // namespace tokencmp

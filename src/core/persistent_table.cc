@@ -6,7 +6,7 @@ namespace tokencmp {
 
 void
 PersistentTable::insert(unsigned proc, Addr addr, bool is_read,
-                        const MachineID &initiator, std::uint64_t seq)
+                        const MachineID &initiator, MsgSeq seq)
 {
     Entry &e = _entries.at(proc);
     e.valid = true;

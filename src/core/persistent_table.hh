@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "net/machine.hh"
+#include "net/message.hh"
 #include "sim/types.hh"
 
 namespace tokencmp {
@@ -42,7 +43,7 @@ class PersistentTable
         bool isRead = false;     //!< persistent *read* request
         Addr addr = 0;
         MachineID initiator;     //!< cache to forward tokens to
-        std::uint64_t seq = 0;   //!< issue sequence number
+        MsgSeq seq = 0;          //!< issue sequence number
     };
 
     explicit PersistentTable(unsigned num_procs)
@@ -51,7 +52,7 @@ class PersistentTable
 
     /** Record processor `proc`'s persistent request. */
     void insert(unsigned proc, Addr addr, bool is_read,
-                const MachineID &initiator, std::uint64_t seq);
+                const MachineID &initiator, MsgSeq seq);
 
     /** Clear processor `proc`'s entry (deactivation). */
     void erase(unsigned proc);

@@ -32,22 +32,26 @@
 #include <vector>
 
 #include "core/policy.hh"
+#include "core/set_assoc_table.hh"
 #include "sim/logging.hh"
 
 namespace tokencmp {
 namespace {
 
 /**
- * Small set-associative block -> (CMP, confidence) table with per-set
- * LRU replacement; the owner-prediction analogue of the contention
- * predictor's organization.
+ * Small set-associative block -> (CMP, confidence) table; the
+ * owner-prediction analogue of the contention predictor, rebased on
+ * the same SetAssocTable. Entries are never invalidated, only evicted,
+ * so which of a fresh set's empty ways an allocation lands in is
+ * unobservable — the pre-refactor fused scan (which kept the *last*
+ * invalid way) and SetAssocTable::allocate (first invalid way) produce
+ * identical predictions; fixed-seed workload-sweep baselines pin this.
  */
 class CmpPredictor
 {
   public:
     explicit CmpPredictor(unsigned entries = 512, unsigned ways = 4)
-        : _ways(ways), _sets(checkedSets(entries, ways)),
-          _entries(entries)
+        : _table("CmpPredictor", entries, ways)
     {}
 
     /**
@@ -60,88 +64,49 @@ class CmpPredictor
     int
     predict(Addr addr, unsigned min_conf, Tick now, Tick max_age) const
     {
-        const Addr blk = blockAlign(addr);
-        const std::size_t base = setIndex(addr) * _ways;
-        for (unsigned w = 0; w < _ways; ++w) {
-            const Entry &e = _entries[base + w];
-            if (e.valid && e.tag == blk) {
-                if (e.conf < min_conf || now - e.seen > max_age)
-                    return -1;
-                return int(e.cmp);
-            }
-        }
-        return -1;
+        const Table::Entry *e = _table.find(addr);
+        if (e == nullptr || e->data.conf < min_conf
+            || now - e->data.seen > max_age)
+            return -1;
+        return int(e->data.cmp);
     }
 
     /** `cmp` was seen acquiring `addr` at tick `now` (strength 2 for
      *  writes, which leave the requester as the sole holder; 1 for
-     *  reads). */
+     *  reads). Hits and allocations both refresh the lru stamp. */
     void
     observe(Addr addr, unsigned cmp, unsigned strength, Tick now)
     {
-        const Addr blk = blockAlign(addr);
-        const std::size_t base = setIndex(addr) * _ways;
-        Entry *victim = &_entries[base];
-        for (unsigned w = 0; w < _ways; ++w) {
-            Entry &e = _entries[base + w];
-            if (e.valid && e.tag == blk) {
-                if (e.cmp == cmp) {
-                    e.conf = std::min<unsigned>(e.conf + strength, 3);
-                } else if (e.conf > strength) {
-                    e.conf -= strength;
-                } else {
-                    e.cmp = std::uint8_t(cmp);
-                    e.conf = std::uint8_t(strength);
-                }
-                e.lru = ++_useCounter;
-                e.seen = now;
-                return;
+        Table::Entry *e = _table.find(addr);
+        if (e != nullptr) {
+            Owner &o = e->data;
+            if (o.cmp == cmp) {
+                o.conf = std::min<unsigned>(o.conf + strength, 3);
+            } else if (o.conf > strength) {
+                o.conf -= strength;
+            } else {
+                o.cmp = std::uint8_t(cmp);
+                o.conf = std::uint8_t(strength);
             }
-            if (!e.valid) {
-                victim = &e;
-            } else if (victim->valid && e.lru < victim->lru) {
-                victim = &e;
-            }
+        } else {
+            e = _table.allocate(addr);
+            e->data.cmp = std::uint8_t(cmp);
+            e->data.conf = std::uint8_t(strength);
         }
-        victim->valid = true;
-        victim->tag = blk;
-        victim->cmp = std::uint8_t(cmp);
-        victim->conf = std::uint8_t(strength);
-        victim->lru = ++_useCounter;
-        victim->seen = now;
+        _table.touch(*e);
+        e->data.seen = now;
     }
 
   private:
-    struct Entry
+    struct Owner
     {
-        bool valid = false;
-        Addr tag = 0;
-        std::uint8_t cmp = 0;
-        std::uint8_t conf = 0;
-        std::uint64_t lru = 0;
-        Tick seen = 0;  //!< tick of the last observation
+        std::uint8_t cmp = 0;  //!< predicted holder CMP
+        std::uint8_t conf = 0; //!< 2-bit saturating confidence
+        Tick seen = 0;         //!< tick of the last observation
     };
+    using Table = SetAssocTable<Owner>;
 
-    std::size_t
-    setIndex(Addr addr) const
-    {
-        return static_cast<std::size_t>(blockNumber(addr)) % _sets;
-    }
-
-    /** Validate geometry *before* any division can fault. */
-    static std::size_t
-    checkedSets(unsigned entries, unsigned ways)
-    {
-        if (ways == 0 || entries == 0 || entries % ways != 0)
-            panic("CmpPredictor: entries (%u) must be a nonzero "
-                  "multiple of ways (%u)", entries, ways);
-        return entries / ways;
-    }
-
-    unsigned _ways;
-    std::size_t _sets;
-    std::vector<Entry> _entries;
-    std::uint64_t _useCounter = 0;
+    Table _table;
 };
 
 /** Shared base: predictor training and the narrowed escalation set. */

@@ -110,7 +110,7 @@ bool
 TokenController::applyPersistMsg(const Msg &m)
 {
     const unsigned proc = m.prio;
-    const std::uint64_t seq = m.reqId;
+    const MsgSeq seq = m.reqId;
 
     switch (m.type) {
       case MsgType::PersistActivate:

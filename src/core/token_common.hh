@@ -79,7 +79,7 @@ struct TokenGlobals
      * processor's L1I and L1D (the tables have one slot per processor,
      * so the sequence must be monotone per processor, not per cache).
      */
-    std::uint64_t
+    MsgSeq
     nextPrSeq(unsigned proc)
     {
         if (_prSeq.size() <= proc)
@@ -88,7 +88,7 @@ struct TokenGlobals
     }
 
   private:
-    std::vector<std::uint64_t> _prSeq;
+    std::vector<MsgSeq> _prSeq;
 };
 
 /** All local L1 caches of `cmp` except `exclude`. */
@@ -193,7 +193,7 @@ class TokenController : public Controller
     std::unique_ptr<PerformancePolicy> _policy;
 
   private:
-    std::vector<std::uint64_t> _lastDeactSeq;
+    std::vector<MsgSeq> _lastDeactSeq;
 };
 
 } // namespace tokencmp

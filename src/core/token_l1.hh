@@ -81,7 +81,7 @@ class TokenL1 : public TokenController, public L1CacheIF
         bool activated = false;    //!< our table entry was inserted
         bool gatePending = false;  //!< waiting for marked-wave drain
         std::uint64_t gen = 0;     //!< timeout generation
-        std::uint64_t prSeq = 0;   //!< persistent sequence number
+        MsgSeq prSeq = 0;          //!< persistent sequence number
         Tick issued = 0;
     };
 

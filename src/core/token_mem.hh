@@ -64,7 +64,7 @@ class TokenMem : public TokenController
         Addr addr = 0;
         bool isRead = false;
         std::uint8_t prio = 0;
-        std::uint64_t seq = 0;
+        MsgSeq seq = 0;
         MachineID initiator;
     };
 
@@ -89,7 +89,7 @@ class TokenMem : public TokenController
      * model checker; our point-to-point links happen to be FIFO, but
      * the substrate must not depend on that.
      */
-    std::set<std::pair<std::uint8_t, std::uint64_t>> _arbOrphans;
+    std::set<std::pair<std::uint8_t, MsgSeq>> _arbOrphans;
 };
 
 } // namespace tokencmp

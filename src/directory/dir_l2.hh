@@ -80,7 +80,7 @@ class DirL2 : public Controller
         int extAcksGot = 0;
         int localAcksNeeded = 0;
         int localAcksGot = 0;
-        std::uint64_t svcId = 0;
+        MsgSeq svcId = 0;
     };
 
     /** Local transaction (forward to a local owner / local invs). */
@@ -88,7 +88,7 @@ class DirL2 : public Controller
     {
         bool isWrite = false;
         MachineID l1Req;
-        std::uint64_t svcId = 0;
+        MsgSeq svcId = 0;
         int acksNeeded = 0;
         int acksGot = 0;
         bool waitingData = false;
@@ -102,7 +102,7 @@ class DirL2 : public Controller
         bool migratory = false;
         MachineID remote;       //!< requesting chip's L2 bank
         int fwdAcks = 0;        //!< ack count to embed in the response
-        std::uint64_t svcId = 0;
+        MsgSeq svcId = 0;
         int acksNeeded = 0;
         int acksGot = 0;
         bool waitingData = false;
@@ -127,7 +127,7 @@ class DirL2 : public Controller
     /** Inclusion-victim recall: pulling a line back from its L1. */
     struct RecallSvc
     {
-        std::uint64_t svcId = 0;
+        MsgSeq svcId = 0;
     };
 
     unsigned l1Slot(const MachineID &id) const;
@@ -177,7 +177,7 @@ class DirL2 : public Controller
     std::unordered_map<Addr, HomeWb> _wbHome;
     std::unordered_map<Addr, RecallSvc> _recall;
     std::unordered_map<Addr, std::deque<Msg>> _deferred;
-    std::uint64_t _svcSeq = 0;
+    MsgSeq _svcSeq = 0;
 
     DirGlobals &g;
 };

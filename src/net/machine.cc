@@ -29,21 +29,4 @@ MachineID::toString() const
     return buf;
 }
 
-unsigned
-Topology::globalIndex(const MachineID &id) const
-{
-    const unsigned per_cmp = cachesPerCmp();
-    switch (id.type) {
-      case MachineType::L1D:
-        return id.cmp * per_cmp + id.index;
-      case MachineType::L1I:
-        return id.cmp * per_cmp + procsPerCmp + id.index;
-      case MachineType::L2Bank:
-        return id.cmp * per_cmp + 2 * procsPerCmp + id.index;
-      case MachineType::Mem:
-        return numCmps * per_cmp + id.cmp;
-    }
-    panic("bad machine type");
-}
-
 } // namespace tokencmp

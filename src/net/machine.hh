@@ -136,8 +136,27 @@ struct Topology
         return l2(cmp, l2BankOf(a));
     }
 
-    /** Dense index in [0, numControllers()) for table addressing. */
-    unsigned globalIndex(const MachineID &id) const;
+    /**
+     * Dense index in [0, numControllers()) for table addressing.
+     * Inline: this is on the per-message hot path (every send/deliver
+     * maps src and dst through it).
+     */
+    unsigned
+    globalIndex(const MachineID &id) const
+    {
+        const unsigned per_cmp = cachesPerCmp();
+        switch (id.type) {
+          case MachineType::L1D:
+            return id.cmp * per_cmp + id.index;
+          case MachineType::L1I:
+            return id.cmp * per_cmp + procsPerCmp + id.index;
+          case MachineType::L2Bank:
+            return id.cmp * per_cmp + 2 * procsPerCmp + id.index;
+          case MachineType::Mem:
+            return numCmps * per_cmp + id.cmp;
+        }
+        panic("bad machine type");
+    }
 
     /** Global processor id of an L1 cache (cmp * procsPerCmp + index). */
     unsigned

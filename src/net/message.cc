@@ -1,5 +1,7 @@
 #include "net/message.hh"
 
+#include <algorithm>
+
 namespace tokencmp {
 
 const char *
@@ -52,58 +54,97 @@ trafficClassName(TrafficClass c)
     return "?";
 }
 
-TrafficClass
-Msg::trafficClass() const
+namespace {
+
+/** Endpoint-category masks for the vocabulary's legal directions. */
+enum : unsigned {
+    kL1 = 1u,
+    kL2 = 2u,
+    kMem = 4u,
+    kCache = kL1 | kL2,
+    kAnyNode = kCache | kMem,
+};
+
+unsigned
+maskOf(MachineType t)
 {
-    switch (type) {
-      case MsgType::TokReadReq:
-      case MsgType::TokWriteReq:
-      case MsgType::GetS:
-      case MsgType::GetX:
-        return TrafficClass::Request;
-
-      case MsgType::TokResponse:
-        return hasData ? TrafficClass::ResponseData
-                       : TrafficClass::InvFwdAckTokens;
-
-      case MsgType::TokWriteback:
-        return hasData ? TrafficClass::WritebackData
-                       : TrafficClass::WritebackControl;
-
-      case MsgType::PersistActivate:
-      case MsgType::PersistDeactivate:
-      case MsgType::PersistArbRequest:
-      case MsgType::PersistArbActivate:
-      case MsgType::PersistArbDeactivate:
-      case MsgType::PersistArbDone:
-        return TrafficClass::Persistent;
-
-      case MsgType::FwdGetS:
-      case MsgType::FwdGetX:
-      case MsgType::Inv:
-      case MsgType::InvAck:
-      case MsgType::AckCount:
-        return TrafficClass::InvFwdAckTokens;
-
-      case MsgType::Data:
-      case MsgType::DataEx:
-        return TrafficClass::ResponseData;
-
-      case MsgType::Unblock:
-      case MsgType::UnblockEx:
-        return TrafficClass::Unblock;
-
-      case MsgType::WbRequest:
-      case MsgType::WbGrant:
-      case MsgType::WbCancel:
-      case MsgType::WbAck:
-        return TrafficClass::WritebackControl;
-
-      case MsgType::WbData:
-        return hasData ? TrafficClass::WritebackData
-                       : TrafficClass::WritebackControl;
+    switch (t) {
+      case MachineType::L1I:
+      case MachineType::L1D:
+        return kL1;
+      case MachineType::L2Bank:
+        return kL2;
+      case MachineType::Mem:
+        return kMem;
     }
-    return TrafficClass::Request;
+    return 0;
+}
+
+/** One vocabulary row: who may send it where, and its smallest shape. */
+struct MsgShape
+{
+    MsgType type;
+    unsigned srcMask;
+    unsigned dstMask;
+    unsigned minBytes;
+};
+
+/**
+ * Direction table for the whole vocabulary. Directions deliberately
+ * over-approximate (an edge listed here that a protocol never uses
+ * only lowers the bound, which stays sound); minBytes is kDataBytes
+ * only for types that always carry the block.
+ */
+constexpr MsgShape kVocabulary[] = {
+    {MsgType::TokReadReq, kL1, kAnyNode, kControlBytes},
+    {MsgType::TokWriteReq, kL1, kAnyNode, kControlBytes},
+    // Token responses may move bare tokens without data.
+    {MsgType::TokResponse, kAnyNode, kAnyNode, kControlBytes},
+    {MsgType::TokWriteback, kCache, kL2 | kMem, kControlBytes},
+    {MsgType::PersistActivate, kL1, kAnyNode, kControlBytes},
+    {MsgType::PersistDeactivate, kL1, kAnyNode, kControlBytes},
+    {MsgType::PersistArbRequest, kL1, kMem, kControlBytes},
+    {MsgType::PersistArbActivate, kMem, kAnyNode, kControlBytes},
+    {MsgType::PersistArbDeactivate, kMem, kAnyNode, kControlBytes},
+    {MsgType::PersistArbDone, kL1, kMem, kControlBytes},
+    {MsgType::GetS, kCache, kL2 | kMem, kControlBytes},
+    {MsgType::GetX, kCache, kL2 | kMem, kControlBytes},
+    {MsgType::FwdGetS, kL2 | kMem, kCache, kControlBytes},
+    {MsgType::FwdGetX, kL2 | kMem, kCache, kControlBytes},
+    {MsgType::Inv, kL2 | kMem, kCache, kControlBytes},
+    {MsgType::InvAck, kCache, kCache, kControlBytes},
+    // Data grants always carry the 64-byte block.
+    {MsgType::Data, kL2 | kMem, kAnyNode, kDataBytes},
+    {MsgType::DataEx, kL2 | kMem, kAnyNode, kDataBytes},
+    {MsgType::AckCount, kL2 | kMem, kCache, kControlBytes},
+    {MsgType::Unblock, kCache, kL2 | kMem, kControlBytes},
+    {MsgType::UnblockEx, kCache, kL2 | kMem, kControlBytes},
+    {MsgType::WbRequest, kCache, kL2 | kMem, kControlBytes},
+    {MsgType::WbGrant, kL2 | kMem, kCache, kControlBytes},
+    // A WbData may be a bare token/ownership return.
+    {MsgType::WbData, kCache, kL2 | kMem, kControlBytes},
+    {MsgType::WbCancel, kCache, kL2 | kMem, kControlBytes},
+    {MsgType::WbAck, kL2 | kMem, kCache, kControlBytes},
+};
+
+} // namespace
+
+unsigned
+minWireBytes(MachineType src, MachineType dst)
+{
+    const unsigned s = maskOf(src);
+    const unsigned d = maskOf(dst);
+    unsigned best = kDataBytes;
+    bool any = false;
+    for (const MsgShape &m : kVocabulary) {
+        if ((m.srcMask & s) && (m.dstMask & d)) {
+            best = std::min(best, m.minBytes);
+            any = true;
+        }
+    }
+    // No vocabulary row for the edge: bottom out at the control size
+    // so an incomplete table can only make the lookahead bound safer.
+    return any ? best : kControlBytes;
 }
 
 } // namespace tokencmp

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Per-domain arena for delivery-batch message blocks.
+ *
+ * DeliverEvent batches used to hold a std::vector<Msg> each: one heap
+ * allocation per pooled event, page-scattered payloads, and a
+ * pointer+size+capacity triple dragged through every cache line of the
+ * pool. The arena replaces that with pointer-free blocks of raw Msgs
+ * carved from cache-line-aligned slabs owned by the domain:
+ *
+ *  - Blocks come in power-of-two size classes (4, 8, ... messages) and
+ *    recycle through per-class free lists, so growth churn is bounded
+ *    and steady-state batch delivery allocates nothing.
+ *  - Slabs are contiguous multi-block chunks aligned to the cache
+ *    line; with the 40-byte Msg a line holds ~1.6 messages and a batch
+ *    walks consecutive lines instead of chasing vector storage.
+ *  - A block is just Msgs — no headers, no back-pointers — so copying
+ *    a batch is a memcpy and a stray write cannot corrupt arena state.
+ *
+ * Lifetime contract: the arena lives in the owning domain's state and
+ * must outlive every block handed out (blocks are NOT individually
+ * freed — recycle() returns them to the free list, and the slabs die
+ * with the arena). The Network's destructor retires its DeliverEvents
+ * before the domain state, preserving this order.
+ *
+ * Single-threaded by construction: each shard domain owns one arena
+ * and only that domain's worker touches it, exactly like the delivery
+ * pool it feeds.
+ */
+
+#ifndef TOKENCMP_NET_MSG_ARENA_HH
+#define TOKENCMP_NET_MSG_ARENA_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "net/message.hh"
+#include "sim/logging.hh"
+
+namespace tokencmp {
+
+/** Pooled, size-classed allocator of Msg blocks (see file comment). */
+class MsgArena
+{
+  public:
+    /** Smallest block handed out (spill target of the inline batch). */
+    static constexpr std::uint32_t kMinBlockMsgs = 4;
+
+    /** Largest block: 2^(kNumClasses-1) * kMinBlockMsgs messages. */
+    static constexpr unsigned kNumClasses = 16;  // 4 .. 128Ki msgs
+
+    static constexpr std::size_t kCacheLine = 64;
+
+    /** Slab granularity in messages (multiple of the largest class). */
+    static constexpr std::size_t kSlabMsgs = 4096;
+
+    MsgArena() = default;
+    MsgArena(const MsgArena &) = delete;
+    MsgArena &operator=(const MsgArena &) = delete;
+
+    ~MsgArena()
+    {
+        for (Msg *s : _slabs)
+            ::operator delete(s, std::align_val_t(kCacheLine));
+    }
+
+    /**
+     * Hand out a block of exactly `cap` messages; `cap` must be a
+     * size-class capacity (kMinBlockMsgs << k). The contents are
+     * unspecified — callers copy live messages in.
+     */
+    Msg *
+    acquire(std::uint32_t cap)
+    {
+        const unsigned cls = classOf(cap);
+        auto &free = _free[cls];
+        if (!free.empty()) {
+            Msg *b = free.back();
+            free.pop_back();
+            return b;
+        }
+        return carve(cap);
+    }
+
+    /** Return a block acquired with the same `cap` to its free list. */
+    void
+    recycle(Msg *block, std::uint32_t cap)
+    {
+        _free[classOf(cap)].push_back(block);
+    }
+
+    /** Total slab bytes owned (observability / tests). */
+    std::size_t slabBytes() const { return _slabMsgTotal * sizeof(Msg); }
+
+  private:
+    static unsigned
+    classOf(std::uint32_t cap)
+    {
+        unsigned cls = 0;
+        std::uint32_t c = kMinBlockMsgs;
+        while (c < cap && cls + 1 < kNumClasses) {
+            c <<= 1;
+            ++cls;
+        }
+        if (c != cap)
+            panic("MsgArena: %u is not a size-class capacity", cap);
+        return cls;
+    }
+
+    /** Carve a fresh block from the bump slab (allocating one if dry). */
+    Msg *
+    carve(std::uint32_t cap)
+    {
+        if (_bump + cap > _bumpEnd) {
+            // A new slab strands at most one partial block; slabs are
+            // multiples of every class size that fits one (an
+            // outsized class gets a dedicated slab).
+            const std::size_t slab_msgs =
+                std::max<std::size_t>(kSlabMsgs, cap);
+            auto *raw = static_cast<Msg *>(::operator new(
+                slab_msgs * sizeof(Msg), std::align_val_t(kCacheLine)));
+            for (std::size_t i = 0; i < slab_msgs; ++i)
+                new (raw + i) Msg();  // Msg is trivially destructible
+            _slabs.push_back(raw);
+            _slabMsgTotal += slab_msgs;
+            _bump = raw;
+            _bumpEnd = raw + slab_msgs;
+        }
+        Msg *b = _bump;
+        _bump += cap;
+        return b;
+    }
+
+    std::vector<Msg *> _free[kNumClasses];
+    std::vector<Msg *> _slabs;
+    std::size_t _slabMsgTotal = 0;
+    Msg *_bump = nullptr;
+    Msg *_bumpEnd = nullptr;
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_NET_MSG_ARENA_HH

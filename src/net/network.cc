@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "net/controller.hh"
 #include "sim/logging.hh"
@@ -30,12 +31,12 @@ DeliverEvent::process()
         _net->_open[_dstIdx] = nullptr;
     Network::DomainState &ds = _net->_dom[_domIdx];
     ++ds.wakeups;
-    for (const Msg &m : _msgs) {
+    for (std::uint32_t i = 0; i < _count; ++i) {
         --ds.inFlight;
-        _dst->handleMsg(m);
+        _dst->handleMsg(_msgs[i]);
     }
-    _msgs.clear();  // keeps capacity; release() treats leftovers as
-                    // undelivered
+    _count = 0;  // keeps the spill block; release() treats leftovers
+                 // as undelivered
 }
 
 void
@@ -45,17 +46,34 @@ DeliverEvent::release()
     // messages never arrived, and the open-batch slot must not keep
     // pointing at a node about to be recycled.
     Network::DomainState &ds = _net->_dom[_domIdx];
-    ds.inFlight -= _msgs.size();
+    ds.inFlight -= _count;
     if (_net->_open[_dstIdx] == this)
         _net->_open[_dstIdx] = nullptr;
-    _msgs.clear();
+    _count = 0;
     ds.pool.recycle(this);
+}
+
+void
+DeliverEvent::grow(MsgArena &arena)
+{
+    const std::uint32_t new_cap = _cap == kInlineMsgs
+                                      ? MsgArena::kMinBlockMsgs
+                                      : _cap * 2;
+    Msg *block = arena.acquire(new_cap);
+    std::memcpy(block, _msgs, _count * sizeof(Msg));
+    if (_msgs != _inline)
+        arena.recycle(_msgs, _cap);
+    _msgs = block;
+    _cap = new_cap;
 }
 
 Network::Network(EventQueue &eq, const Topology &topo,
                  const NetworkParams &params)
     : _topo(topo), _p(params)
 {
+    _serIntra = serTicks(_p.intraBytesPerNs);
+    _serInter = serTicks(_p.interBytesPerNs);
+    _serMem = serTicks(_p.memLinkBytesPerNs);
     _eqs.assign(1, &eq);
     _controllers.assign(_topo.numControllers(), nullptr);
     _intraPorts.assign(_topo.numControllers(), Link{});
@@ -124,17 +142,31 @@ Network::shard(const std::vector<EventQueue *> &queues,
 }
 
 Tick
-Network::minPathLatency(const MachineID &src, const MachineID &dst) const
+Network::minPathDelta(const MachineID &src, const MachineID &dst) const
 {
     const bool src_is_mem = src.type == MachineType::Mem;
     const bool dst_is_mem = dst.type == MachineType::Mem;
     if (src_is_mem && dst_is_mem)
         return EventQueue::noTick;  // mem-to-mem messages don't exist
-    const Tick hop = src.cmp == dst.cmp ? _p.intraLatency
-                                        : _p.interLatency;
-    if (src_is_mem || dst_is_mem)
-        return hop + _p.memLinkLatency;
-    return hop;
+
+    // Minimum serialization each link adds before a message can reach
+    // the far side. Zero when bandwidth is off (no serialization
+    // exists) or when the type-aware derivation is disabled (then the
+    // matrix reproduces the latency-only bound).
+    const bool with_ser = _p.typeAwareLookahead && _p.modelBandwidth;
+    const bool data_only =
+        with_ser && minWireBytes(src.type, dst.type) > kControlBytes;
+
+    const bool intra_hop = src.cmp == dst.cmp;
+    Tick delta = intra_hop ? _p.intraLatency : _p.interLatency;
+    if (with_ser)
+        delta += (intra_hop ? _serIntra : _serInter).byShape[data_only];
+    if (src_is_mem || dst_is_mem) {
+        delta += _p.memLinkLatency;
+        if (with_ser)
+            delta += _serMem.byShape[data_only];
+    }
+    return delta;
 }
 
 void
@@ -162,7 +194,7 @@ Network::buildLookaheadMatrix()
             const unsigned db = _ctrlDomain[_topo.globalIndex(b)];
             if (da == db || a == b)
                 continue;
-            const Tick l = minPathLatency(a, b);
+            const Tick l = minPathDelta(a, b);
             Tick &cell = _lookahead[da * n + db];
             cell = std::min(cell, l);
         }
@@ -177,18 +209,18 @@ Network::buildLookaheadMatrix()
     }
 }
 
-Tick
-Network::traverse(Link &link, Tick earliest, Tick latency, double bpn,
-                  unsigned bytes)
+Network::SerTicks
+Network::serTicks(double bytes_per_ns)
 {
-    if (!_p.modelBandwidth)
-        return earliest + latency;
-    const Tick start = std::max(earliest, link.nextFree);
-    const auto ser = static_cast<Tick>(
-        std::llround(double(bytes) * double(ticksPerNs) / bpn));
-    link.nextFree = start + ser;
-    link.busy += ser;
-    return start + ser + latency;
+    // Same arithmetic the per-message path used to run per hop, done
+    // once per level at construction — identical rounding, identical
+    // link timing.
+    SerTicks s;
+    s.byShape[0] = static_cast<Tick>(std::llround(
+        double(kControlBytes) * double(ticksPerNs) / bytes_per_ns));
+    s.byShape[1] = static_cast<Tick>(std::llround(
+        double(kDataBytes) * double(ticksPerNs) / bytes_per_ns));
+    return s;
 }
 
 void
@@ -217,34 +249,36 @@ Network::send(Msg msg, Tick sender_delay)
     // channels keep the inter-CMP links that way even when several
     // domains share the source chip).
     Tick t = _eqs[sd]->curTick() + sender_delay;
-    const unsigned sz = msg.size();
+    const Tick ser_intra = _serIntra.of(msg);
+    const Tick ser_inter = _serInter.of(msg);
+    const Tick ser_mem = _serMem.of(msg);
     bool mem_ingress_pending = false;
 
     if (src_is_mem) {
         // Off the memory controller onto its CMP...
         t = traverse(_memLinks[2 * scmp + 1], t, _p.memLinkLatency,
-                     _p.memLinkBytesPerNs, sz);
+                     ser_mem);
         account(NetLevel::MemLink, msg, sd);
         if (dst_is_mem)
             panic("memory-to-memory message");
         if (scmp != dcmp) {
             t = traverse(interLink(scmp, dcmp, sd), t,
-                         _p.interLatency, _p.interBytesPerNs, sz);
+                         _p.interLatency, ser_inter);
             account(NetLevel::Inter, msg, sd);
         } else {
             // Home CMP delivery crosses the on-chip network.
             t = traverse(_intraGateways[dcmp], t, _p.intraLatency,
-                         _p.intraBytesPerNs, sz);
+                         ser_intra);
             account(NetLevel::Intra, msg, sd);
         }
     } else if (dst_is_mem) {
         if (scmp != dcmp) {
             t = traverse(interLink(scmp, dcmp, sd), t,
-                         _p.interLatency, _p.interBytesPerNs, sz);
+                         _p.interLatency, ser_inter);
             account(NetLevel::Inter, msg, sd);
         } else {
             t = traverse(_intraPorts[_topo.globalIndex(msg.src)], t,
-                         _p.intraLatency, _p.intraBytesPerNs, sz);
+                         _p.intraLatency, ser_intra);
             account(NetLevel::Intra, msg, sd);
         }
         // The home memory ingress link belongs to the destination
@@ -254,19 +288,19 @@ Network::send(Msg msg, Tick sender_delay)
         mem_ingress_pending = sd != dd;
         if (!mem_ingress_pending) {
             t = traverse(_memLinks[2 * dcmp], t, _p.memLinkLatency,
-                         _p.memLinkBytesPerNs, sz);
+                         ser_mem);
             account(NetLevel::MemLink, msg, sd);
         }
     } else if (scmp == dcmp) {
         // On-chip cache-to-cache hop.
         t = traverse(_intraPorts[_topo.globalIndex(msg.src)], t,
-                     _p.intraLatency, _p.intraBytesPerNs, sz);
+                     _p.intraLatency, ser_intra);
         account(NetLevel::Intra, msg, sd);
     } else {
         // Cross-chip cache-to-cache: the 20 ns inter link subsumes the
         // chip interfaces (Table 3).
         t = traverse(interLink(scmp, dcmp, sd), t, _p.interLatency,
-                     _p.interBytesPerNs, sz);
+                     ser_inter);
         account(NetLevel::Inter, msg, sd);
     }
 
@@ -301,7 +335,7 @@ Network::deliverLocal(const Msg &msg, Tick arrival, unsigned domain)
     DeliverEvent *b = _open[idx];
     if (_p.batchDelivery && b != nullptr && b->scheduled() &&
         b->when() == arrival && eq.nextSeq() == b->seq() + 1) {
-        b->_msgs.push_back(msg);
+        b->append(msg, ds.arena);
         ++ds.batched;
         return;
     }
@@ -311,7 +345,7 @@ Network::deliverLocal(const Msg &msg, Tick arrival, unsigned domain)
     b->_dst = dst;
     b->_dstIdx = idx;
     b->_domIdx = domain;
-    b->_msgs.push_back(msg);
+    b->append(msg, ds.arena);
     eq.scheduleEvent(b, arrival);
     _open[idx] = b;
 }
@@ -340,8 +374,7 @@ Network::intakeMailboxes(unsigned domain)
             if (h.memIngress) {
                 const unsigned dcmp = h.msg.dst.cmp;
                 t = traverse(_memLinks[2 * dcmp], t,
-                             _p.memLinkLatency, _p.memLinkBytesPerNs,
-                             h.msg.size());
+                             _p.memLinkLatency, _serMem.of(h.msg));
                 account(NetLevel::MemLink, h.msg, domain);
             }
             deliverLocal(h.msg, t, domain);

@@ -63,6 +63,7 @@
 #ifndef TOKENCMP_NET_NETWORK_HH
 #define TOKENCMP_NET_NETWORK_HH
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -70,6 +71,7 @@
 
 #include "net/machine.hh"
 #include "net/message.hh"
+#include "net/msg_arena.hh"
 #include "sim/event_queue.hh"
 #include "sim/sharded_kernel.hh"
 #include "sim/types.hh"
@@ -90,6 +92,17 @@ struct NetworkParams
     double memLinkBytesPerNs = 16.0;
     bool modelBandwidth = true;     //!< serialize on link bandwidth
     bool batchDelivery = true;      //!< coalesce same-(dst,tick) bursts
+
+    /**
+     * Derive the sharded lookahead matrix from per-message-type
+     * minimum wire sizes: each link on a (src, dst) path contributes
+     * its latency plus the serialization of the smallest message the
+     * protocol vocabulary allows between those machine types (8-byte
+     * control vs 72-byte data), instead of latency alone. Widens every
+     * conservative window when bandwidth is modeled; no effect on
+     * serial runs or on message timing itself.
+     */
+    bool typeAwareLookahead = true;
 };
 
 /** Physical network levels for traffic accounting. */
@@ -100,8 +113,15 @@ const char *netLevelName(NetLevel l);
 
 /**
  * Pooled arrival event: one wakeup hands a batch of same-tick messages
- * to one controller. The message vector's capacity survives recycling,
- * so steady-state delivery allocates nothing.
+ * to one controller.
+ *
+ * Batches are overwhelmingly singletons (the order-preserving join
+ * condition is strict), so the first kInlineMsgs messages live inside
+ * the event itself — the common delivery touches no storage beyond
+ * the pooled event node. Larger batches spill into a block from the
+ * owning domain's MsgArena; a block's capacity survives recycling
+ * (like the vector it replaced), so steady-state delivery allocates
+ * nothing.
  */
 class DeliverEvent final : public Event
 {
@@ -114,11 +134,27 @@ class DeliverEvent final : public Event
   private:
     friend class Network;
 
+    static constexpr std::uint32_t kInlineMsgs = 2;
+
+    /** Append one message, spilling/growing through `arena`. */
+    void
+    append(const Msg &m, MsgArena &arena)
+    {
+        if (_count == _cap)
+            grow(arena);
+        _msgs[_count++] = m;
+    }
+
+    void grow(MsgArena &arena);
+
     Network *_net = nullptr;
     Controller *_dst = nullptr;
     unsigned _dstIdx = 0;
-    unsigned _domIdx = 0;  //!< owning delivery domain
-    std::vector<Msg> _msgs;
+    unsigned _domIdx = 0;        //!< owning delivery domain
+    Msg *_msgs = _inline;        //!< _inline, or an arena block
+    std::uint32_t _count = 0;
+    std::uint32_t _cap = kInlineMsgs;
+    Msg _inline[kInlineMsgs];
 };
 
 /**
@@ -271,6 +307,8 @@ class Network
     struct DomainState
     {
         EventPool<DeliverEvent> pool;
+        MsgArena arena;  //!< batch spill blocks; outlives the pool's
+                         //!< events (see ~Network)
         std::uint64_t inFlight = 0;
         std::uint64_t totalMsgs = 0;
         std::uint64_t wakeups = 0;
@@ -287,12 +325,37 @@ class Network
      * @param link     the link's occupancy state
      * @param earliest when the message is ready to enter the link
      * @param latency  propagation latency
-     * @param bpn      bandwidth in bytes per nanosecond
-     * @param bytes    message size
+     * @param ser      store-and-forward serialization time (from the
+     *                 per-level SerTicks table — never recomputed on
+     *                 the per-message path)
      * @return arrival time at the far end
      */
-    Tick traverse(Link &link, Tick earliest, Tick latency, double bpn,
-                  unsigned bytes);
+    Tick
+    traverse(Link &link, Tick earliest, Tick latency, Tick ser)
+    {
+        if (!_p.modelBandwidth)
+            return earliest + latency;
+        const Tick start = std::max(earliest, link.nextFree);
+        link.nextFree = start + ser;
+        link.busy += ser;
+        return start + ser + latency;
+    }
+
+    /**
+     * Serialization ticks for the two wire shapes on one level,
+     * indexed by Msg::hasData. Precomputed once from the level's
+     * bytes/ns with the same rounding send() used to apply per
+     * message — the double divide + llround this replaces was a
+     * measurable slice of every hop.
+     */
+    struct SerTicks
+    {
+        Tick byShape[2] = {0, 0};  //!< [0] control 8B, [1] data 72B
+        Tick of(const Msg &m) const { return byShape[m.hasData]; }
+        Tick control() const { return byShape[0]; }
+    };
+
+    static SerTicks serTicks(double bytes_per_ns);
 
     void account(NetLevel level, const Msg &msg, unsigned domain);
 
@@ -330,15 +393,24 @@ class Network
         return _mail[src * numDomains() + dst];
     }
 
-    /** Minimum latency of any message path between two controllers
-     *  (EventQueue::noTick for invalid pairs, e.g. mem-to-mem). */
-    Tick minPathLatency(const MachineID &src, const MachineID &dst) const;
+    /**
+     * Minimum time any message can take between two controllers
+     * (EventQueue::noTick for invalid pairs, e.g. mem-to-mem). Sums
+     * per-link latency; with typeAwareLookahead and modeled bandwidth
+     * it also adds each link's minimum serialization, derived from the
+     * smallest wire size the message vocabulary admits between the two
+     * machine types (minWireBytes).
+     */
+    Tick minPathDelta(const MachineID &src, const MachineID &dst) const;
 
     /** Fill _lookahead from the shard map (called by shard()). */
     void buildLookaheadMatrix();
 
     Topology _topo;
     NetworkParams _p;
+
+    /** Per-level serialization ticks, indexed by Msg::hasData. */
+    SerTicks _serIntra, _serInter, _serMem;
 
     std::vector<Controller *> _controllers;       //!< by global index
     std::vector<Link> _intraPorts;                //!< per source port

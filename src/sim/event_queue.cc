@@ -220,21 +220,35 @@ EventQueue::refill()
             const Tick span0 = Tick(1) << (baseShift + slotBits);
             const Tick base0 = _pos & ~(span0 - 1);
             Chain &c = _wheel[0][idx];
+            // Track (when, seq) order while draining: chains are FIFO
+            // in insertion order, which in the common case (no cascade
+            // interleaving) is already sorted, so the sort below is a
+            // no-op worth skipping — it dominates the drain cost for
+            // the small buckets the protocol latencies produce.
+            bool sorted = true;
+            const Event *prev = nullptr;
             for (Event *e = c.head; e != nullptr;) {
                 Event *next = e->_next;
                 e->_next = nullptr;
+                if (prev != nullptr &&
+                    (prev->when() > e->when() ||
+                     (prev->when() == e->when() && prev->seq() > e->seq())))
+                    sorted = false;
+                prev = e;
                 _runq.push_back(e);
                 e = next;
             }
             c.head = c.tail = nullptr;
             _occ[0][unsigned(idx) >> 6] &=
                 ~(std::uint64_t(1) << (unsigned(idx) & 63));
-            std::sort(_runq.begin(), _runq.end(),
-                      [](const Event *a, const Event *b) {
-                          if (a->when() != b->when())
-                              return a->when() < b->when();
-                          return a->seq() < b->seq();
-                      });
+            if (!sorted) {
+                std::sort(_runq.begin(), _runq.end(),
+                          [](const Event *a, const Event *b) {
+                              if (a->when() != b->when())
+                                  return a->when() < b->when();
+                              return a->seq() < b->seq();
+                          });
+            }
             _pos = base0 + ((Tick(idx) + 1) << baseShift);
             return true;
         }
@@ -275,45 +289,6 @@ EventQueue::refill()
         }
         return false;
     }
-}
-
-Event *
-EventQueue::peekNext()
-{
-    if (!refill())
-        return nullptr;
-    return _runq[_runqHead];
-}
-
-Tick
-EventQueue::frontier()
-{
-    Event *e = peekNext();
-    return e == nullptr ? noTick : e->when();
-}
-
-Event *
-EventQueue::popNext()
-{
-    Event *e = _runq[_runqHead++];
-    if (_runqHead == _runq.size()) {
-        _runq.clear();
-        _runqHead = 0;
-    }
-    return e;
-}
-
-void
-EventQueue::executeOne(Event *e)
-{
-    popNext();
-    e->_sched = false;
-    --_pending;
-    _curTick = e->_when;
-    ++_executed;
-    e->process();
-    if (!e->_sched)
-        e->release();
 }
 
 bool

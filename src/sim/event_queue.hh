@@ -118,7 +118,12 @@ class EventQueue
      * (like a run() would) but executes nothing; used by the sharded
      * kernel's window coordinator to find the global next-event time.
      */
-    Tick frontier();
+    Tick
+    frontier()
+    {
+        Event *e = peekNext();
+        return e == nullptr ? noTick : e->when();
+    }
 
     /** True if no events are pending. */
     bool empty() const { return _pending == 0; }
@@ -226,10 +231,42 @@ class EventQueue
     void runqInsert(Event *e);
     void chainAppend(Chain &c, Event *e);
     int lowestSet(const std::uint64_t *occ) const;
-    bool refill();           //!< make the run queue non-empty
-    Event *peekNext();       //!< next event or nullptr (refills)
-    Event *popNext();        //!< consume the event peekNext returned
-    void executeOne(Event *e);  //!< pop, clock-advance, process, release
+    bool refill();           //!< make the run queue non-empty (slow path)
+
+    /** Next event or nullptr; refills the run queue when staged dry. */
+    Event *
+    peekNext()
+    {
+        if (_runqHead < _runq.size()) [[likely]]
+            return _runq[_runqHead];
+        return refill() ? _runq[_runqHead] : nullptr;
+    }
+
+    /** Consume the event peekNext returned. */
+    Event *
+    popNext()
+    {
+        Event *e = _runq[_runqHead++];
+        if (_runqHead == _runq.size()) {
+            _runq.clear();
+            _runqHead = 0;
+        }
+        return e;
+    }
+
+    /** Pop, clock-advance, process, release. */
+    void
+    executeOne(Event *e)
+    {
+        popNext();
+        e->_sched = false;
+        --_pending;
+        _curTick = e->_when;
+        ++_executed;
+        e->process();
+        if (!e->_sched)
+            e->release();
+    }
     void farPush(Event *e);
     Event *farPop();
 

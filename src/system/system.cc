@@ -95,6 +95,10 @@ System::harvest(StatSet &out) const
                 double(_net->bytesByLevel(NetLevel(lvl))));
     }
     out.add("net.messages", double(_net->totalMessages()));
+    // Deterministic per (config, workload) and invariant across
+    // worker counts — the ShardSweep bit-identity tests cover it like
+    // any other stat.
+    out.add("kernel.windows", double(_shardedWindows));
 
     _proto->harvest(out);
 }
@@ -124,7 +128,10 @@ System::runSharded(unsigned num_threads, Tick horizon)
         };
     }
     kernel.setHooks(std::move(hooks));
-    return kernel.run(horizon) == ShardedKernel::Outcome::Stopped;
+    const bool stopped =
+        kernel.run(horizon) == ShardedKernel::Outcome::Stopped;
+    _shardedWindows += kernel.windows();
+    return stopped;
 }
 
 bool

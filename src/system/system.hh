@@ -157,6 +157,15 @@ class System
     const SystemConfig &config() const { return _cfg; }
     Sequencer &sequencer(unsigned proc) { return *_sequencers.at(proc); }
 
+    /**
+     * Window-barrier rounds executed across all sharded phases of
+     * run() (0 for serial runs). Deterministic for a fixed (config,
+     * workload), so it measures lookahead quality — wider matrix
+     * entries mean longer windows, fewer rounds, and less barrier
+     * synchronization per simulated tick — without wall-clock noise.
+     */
+    std::uint64_t shardedWindows() const { return _shardedWindows; }
+
     TokenGlobals *tokenGlobals() { return _proto->tokenGlobals(); }
 
     /**
@@ -209,6 +218,8 @@ class System
 
     /** Threads finished so far (the O(1) completion predicate). */
     std::atomic<std::uint32_t> _finished{0};
+
+    std::uint64_t _shardedWindows = 0;  //!< see shardedWindows()
 
     std::vector<std::unique_ptr<Controller>> _controllers;
     std::vector<std::unique_ptr<Sequencer>> _sequencers;

@@ -738,6 +738,48 @@ TEST(ShardedSystem, SerialAndShardedAgreeSemantically)
     }
 }
 
+TEST(ShardedSystem, TypeAwareLookaheadShrinksWindowCountSoundly)
+{
+    // The per-message-type serialization floor widens every lookahead
+    // matrix entry (every link's minimum shape still serializes for >=
+    // the 8-byte control time), so the same simulated work must need
+    // strictly fewer window-barrier rounds than the latency-only
+    // bound — while still completing and keeping the workload's
+    // invariants (an unsound, too-wide bound would deliver into a
+    // shard's past and panic, or corrupt the lock protocol).
+    auto windowsWith = [](bool type_aware) {
+        SystemConfig cfg;
+        cfg.protocol = Protocol::TokenDst1;
+        cfg.seed = 11;
+        cfg.shards = 2;
+        // The finest shard map: its windows are bounded by the
+        // intra-CMP entries, which the serialization floor widens the
+        // most in relative terms (2 ns -> 2.125 ns).
+        cfg.shardMap.kind = ShardMapKind::PerL1Bank;
+        cfg.net.typeAwareLookahead = type_aware;
+        cfg.finalize();
+
+        SyntheticParams p = oltpParams();
+        p.opsPerProc = 40;
+        SyntheticWorkload wl(p);
+
+        System sys(cfg);
+        System::RunResult r = sys.run(wl);
+        EXPECT_TRUE(r.completed) << "typeAware=" << type_aware;
+        EXPECT_EQ(r.violations, 0u) << "typeAware=" << type_aware;
+        EXPECT_GT(sys.shardedWindows(), 0u);
+        return sys.shardedWindows();
+    };
+
+    const std::uint64_t type_aware = windowsWith(true);
+    const std::uint64_t latency_only = windowsWith(false);
+    EXPECT_LT(type_aware, latency_only);
+    std::printf("[          ] window rounds: type-aware=%llu "
+                "latency-only=%llu\n",
+                static_cast<unsigned long long>(type_aware),
+                static_cast<unsigned long long>(latency_only));
+}
+
 TEST(ShardMapDeathTest, InvalidExplicitMapsPanic)
 {
     ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
