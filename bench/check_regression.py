@@ -23,6 +23,12 @@ missing-label case instead warns and skips — the workload sweep's
 cell set is expected to grow and shrink as workloads and policies
 are added, and a stale baseline row must not brick the gate.
 
+A baseline whose meta.hwThreads exceeds this machine's core count
+warns and skips its wall-clock (eventsPerSec) cells instead of
+gating — a laptop or container cannot hold a many-core runner's
+parallel throughput. msgsPerMiss cells still gate: they are
+simulation counts, identical on any runner.
+
 A machine-readable diff is written to --out for upload as a CI
 artifact, whether or not the gate trips.
 
@@ -77,6 +83,21 @@ def compare(name, baseline_dir, current_dir, tolerance,
     # produced each side decides whether a drift is even meaningful.
     result["meta"] = {"baseline": base_meta, "current": cur_meta}
 
+    # A baseline recorded on a bigger machine cannot gate wall-clock
+    # cells here: parallel benches legitimately lose their speedup
+    # when the worker threads outnumber the cores. Warn and skip the
+    # eventsPerSec cells; msgsPerMiss cells are simulation counts over
+    # fixed seeds and stay armed regardless of the runner class.
+    base_hw = base_meta.get("hwThreads", base_meta.get("hw_threads"))
+    machine_hw = os.cpu_count()
+    hw_short = (base_hw is not None and machine_hw is not None
+                and int(base_hw) > machine_hw)
+    if hw_short:
+        result["warnings"].append(
+            f"{name}: baseline recorded on {base_hw} hardware "
+            f"threads, this machine has {machine_hw} — wall-clock "
+            f"cells skipped")
+
     # metric key -> (unit, True when higher values are better)
     gated_metrics = {"eventsPerSec": ("ev/s", True),
                      "msgsPerMiss": ("msgs/miss", False)}
@@ -88,7 +109,9 @@ def compare(name, baseline_dir, current_dir, tolerance,
         if metric is not None:
             unit, higher_is_better = gated_metrics[metric]
             entry["metric"] = metric
-            if ccell is None or metric not in ccell:
+            if metric == "eventsPerSec" and hw_short:
+                entry["verdict"] = "skipped"
+            elif ccell is None or metric not in ccell:
                 msg = (f"{name}/{label}: present in baseline, "
                        f"missing from current record")
                 if allow_missing:

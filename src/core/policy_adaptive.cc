@@ -97,6 +97,9 @@ class CmpPredictor
         e->data.seen = now;
     }
 
+    /** Checkpoint the mutable state (speculative rollback). */
+    void specCapture(SnapshotBuilder &b) { _table.specCapture(b); }
+
   private:
     struct Owner
     {
@@ -150,6 +153,14 @@ class DestSetPolicy : public PerformancePolicy
     {
         out.add("policy.narrowedEscalations", double(stats.narrowed));
         out.add("policy.broadcastEscalations", double(stats.broadcasts));
+    }
+
+    void
+    specCapture(SnapshotBuilder &b) override
+    {
+        PerformancePolicy::specCapture(b);
+        if (_pred != nullptr)
+            _pred->specCapture(b);
     }
 
   protected:
@@ -243,6 +254,16 @@ class BandwidthAdaptivePolicy final : public DestSetPolicy
         }
         ++stats.narrowed;
         narrowEscalateSet(addr, pred, out);
+    }
+
+    void
+    specCapture(SnapshotBuilder &b) override
+    {
+        DestSetPolicy::specCapture(b);
+        b(_sampled);
+        b(_lastNow);
+        b(_lastBusy);
+        b(_util);
     }
 
   private:

@@ -14,6 +14,7 @@ TokenL1::TokenL1(SimContext &ctx, MachineID id, TokenGlobals &g,
 {
     if (id.type != MachineType::L1D && id.type != MachineType::L1I)
         panic("TokenL1 requires an L1 machine id");
+    _array.specBind(&ctx.eventq, &ctx.spec, &ctx.specEpoch);
 }
 
 const TokenSt *
@@ -257,12 +258,12 @@ TokenL1::issuePersistent(Addr addr, Txn &txn)
 {
     txn.persistent = true;
     ++stats.persistents;
-    ++g.persistentIssued;
+    g.countPersistentIssued(ctx);
     if (!txn.isWrite)
         ++stats.persistentReads;
 
     if (_policy->activation() == PersistentActivation::Arbiter) {
-        txn.prSeq = g.nextPrSeq(myProc());
+        txn.prSeq = g.nextPrSeq(ctx, myProc());
         Msg m;
         m.type = MsgType::PersistArbRequest;
         m.addr = addr;
@@ -288,7 +289,7 @@ TokenL1::issuePersistent(Addr addr, Txn &txn)
 void
 TokenL1::activatePersistent(Addr addr, Txn &txn)
 {
-    txn.prSeq = g.nextPrSeq(myProc());
+    txn.prSeq = g.nextPrSeq(ctx, myProc());
     txn.activated = true;
     ptable.insert(myProc(), addr, !txn.isWrite, _id, txn.prSeq);
     onPersistentTableChange(addr);

@@ -6,6 +6,7 @@
 
 #include "net/controller.hh"
 #include "sim/logging.hh"
+#include "sim/spec.hh"
 
 namespace tokencmp {
 
@@ -79,7 +80,8 @@ Network::Network(EventQueue &eq, const Topology &topo,
     _intraPorts.assign(_topo.numControllers(), Link{});
     _intraGateways.assign(_topo.numCmps, Link{});
     _interLinks.assign(_topo.numCmps * _topo.numCmps, Link{});
-    _memLinks.assign(2 * _topo.numCmps, Link{});
+    _memEgress.assign(_topo.numCmps, Link{});
+    _memIngress.assign(_topo.numCmps, Link{});
     _open.assign(_topo.numControllers(), nullptr);
     _dom = std::vector<DomainState>(1);
     _lookahead.assign(1, EventQueue::noTick);
@@ -134,10 +136,14 @@ Network::shard(const std::vector<EventQueue *> &queues,
     _dom = std::vector<DomainState>(_eqs.size());
     _mail = std::vector<FlipMailbox<Handoff>>(_eqs.size() *
                                               _eqs.size());
-    // Split every directed inter-CMP link into one virtual channel
-    // per source domain, so co-located domains never share occupancy.
+    _staging.resize(_eqs.size() * _eqs.size());
+    // Split every directed inter-CMP link — and every CMP's memory
+    // ingress link — into one virtual channel per source domain, so
+    // co-located domains never share occupancy and every path is
+    // traversed entirely by its sender.
     _numVC = numDomains();
     _interLinks.assign(_topo.numCmps * _topo.numCmps * _numVC, Link{});
+    _memIngress.assign(_topo.numCmps * _numVC, Link{});
     buildLookaheadMatrix();
 }
 
@@ -252,12 +258,10 @@ Network::send(Msg msg, Tick sender_delay)
     const Tick ser_intra = _serIntra.of(msg);
     const Tick ser_inter = _serInter.of(msg);
     const Tick ser_mem = _serMem.of(msg);
-    bool mem_ingress_pending = false;
 
     if (src_is_mem) {
         // Off the memory controller onto its CMP...
-        t = traverse(_memLinks[2 * scmp + 1], t, _p.memLinkLatency,
-                     ser_mem);
+        t = traverse(_memEgress[scmp], t, _p.memLinkLatency, ser_mem);
         account(NetLevel::MemLink, msg, sd);
         if (dst_is_mem)
             panic("memory-to-memory message");
@@ -281,16 +285,12 @@ Network::send(Msg msg, Tick sender_delay)
                          _p.intraLatency, ser_intra);
             account(NetLevel::Intra, msg, sd);
         }
-        // The home memory ingress link belongs to the destination
-        // domain; when the sender lives elsewhere (another chip, or a
-        // sub-CMP domain on the same chip) the handoff's consumer
-        // finishes the traversal with its own link state.
-        mem_ingress_pending = sd != dd;
-        if (!mem_ingress_pending) {
-            t = traverse(_memLinks[2 * dcmp], t, _p.memLinkLatency,
-                         ser_mem);
-            account(NetLevel::MemLink, msg, sd);
-        }
+        // The home memory ingress link is a per-source-domain virtual
+        // channel, so even a remote sender finishes the whole path —
+        // the arrival tick below is final.
+        t = traverse(memIngressLink(dcmp, sd), t, _p.memLinkLatency,
+                     ser_mem);
+        account(NetLevel::MemLink, msg, sd);
     } else if (scmp == dcmp) {
         // On-chip cache-to-cache hop.
         t = traverse(_intraPorts[_topo.globalIndex(msg.src)], t,
@@ -307,9 +307,18 @@ Network::send(Msg msg, Tick sender_delay)
     ++_dom[sd].totalMsgs;
 
     if (sd != dd) {
+        // The canonical delivery key: replays after a rollback reuse
+        // the same (domain, sendSeq) because sendSeq is part of the
+        // domain's checkpoint snapshot.
+        const Handoff h{msg, t, handoffKey(sd, _dom[sd].sendSeq++)};
+        if (_kernel != nullptr && _kernel->speculativeWindow()) {
+            _staging[sd * numDomains() + dd].push_back(
+                StagedHandoff{_eqs[sd]->specCheckpoints(), h});
+            return;
+        }
         _mailboxed.fetch_add(1, std::memory_order_relaxed);
         _handoffsTotal.fetch_add(1, std::memory_order_relaxed);
-        mailbox(sd, dd).push(Handoff{msg, t, mem_ingress_pending}, t);
+        mailbox(sd, dd).push(h, t);
         return;
     }
     deliverLocal(msg, t, dd);
@@ -370,17 +379,102 @@ Network::intakeMailboxes(unsigned domain)
     for (unsigned src = 0; src < n; ++src) {
         FlipMailbox<Handoff> &mb = mailbox(src, domain);
         for (const Handoff &h : mb.pending()) {
-            Tick t = h.tick;
-            if (h.memIngress) {
-                const unsigned dcmp = h.msg.dst.cmp;
-                t = traverse(_memLinks[2 * dcmp], t,
-                             _p.memLinkLatency, _serMem.of(h.msg));
-                account(NetLevel::MemLink, h.msg, domain);
-            }
-            deliverLocal(h.msg, t, domain);
+            deliverKeyed(h, domain);
             _mailboxed.fetch_sub(1, std::memory_order_relaxed);
         }
         mb.clearPending();
+    }
+}
+
+void
+Network::deliverKeyed(const Handoff &h, unsigned domain)
+{
+    const unsigned idx = _topo.globalIndex(h.msg.dst);
+    Controller *dst = _controllers.at(idx);
+    if (dst == nullptr)
+        panic("message to unregistered controller %s",
+              h.msg.dst.toString().c_str());
+
+    DomainState &ds = _dom[domain];
+    ++ds.inFlight;
+    // Handoffs never batch and never open a batch slot: their band-1
+    // key pins their place in the committed order, and a later local
+    // send must not append behind that key.
+    DeliverEvent *b = ds.pool.acquire();
+    b->_net = this;
+    b->_dst = dst;
+    b->_dstIdx = idx;
+    b->_domIdx = domain;
+    b->append(h.msg, ds.arena);
+    _eqs[domain]->scheduleKeyed(b, h.tick, h.key);
+}
+
+void
+Network::collectStaged(std::vector<ShardedKernel::StagedEntry> &out)
+{
+    const unsigned n = numDomains();
+    for (unsigned s = 0; s < n; ++s) {
+        for (unsigned d = 0; d < n; ++d) {
+            for (const StagedHandoff &sh : _staging[s * n + d])
+                out.push_back({s, d, sh.seg, sh.h.tick, sh.h.key});
+        }
+    }
+}
+
+void
+Network::commitFlip(const std::vector<unsigned> &keep,
+                    std::vector<Tick> &earliest)
+{
+    const unsigned n = numDomains();
+    for (unsigned s = 0; s < n; ++s) {
+        for (unsigned d = 0; d < n; ++d) {
+            std::vector<StagedHandoff> &st = _staging[s * n + d];
+            for (const StagedHandoff &sh : st) {
+                // Aborted segments' sends vanish here; their senders
+                // roll back and re-send with identical keys.
+                if (sh.seg > keep[s])
+                    continue;
+                _mailboxed.fetch_add(1, std::memory_order_relaxed);
+                _handoffsTotal.fetch_add(1, std::memory_order_relaxed);
+                mailbox(s, d).push(sh.h, sh.h.tick);
+            }
+            st.clear();
+        }
+    }
+    flipMailboxes(earliest);
+}
+
+void
+Network::specCapture(unsigned domain, SnapshotBuilder &b)
+{
+    DomainState &ds = _dom[domain];
+    b(ds.inFlight);
+    b(ds.totalMsgs);
+    b(ds.wakeups);
+    b(ds.batched);
+    b(ds.sendSeq);
+    b(ds.bytes);
+
+    // Every link occupancy this domain owns: its controllers' source
+    // ports, its virtual channels on the inter-CMP and memory-ingress
+    // links, and — for CMPs whose memory controller it hosts — the
+    // chip gateway and memory egress link.
+    for (unsigned i = 0; i < _ctrlDomain.size(); ++i) {
+        if (_ctrlDomain[i] == domain) {
+            b(_intraPorts[i]);
+            // The open-batch slot may point at an event the rollback
+            // recycles; clearing it just forgoes one batching join.
+            b.onRestore([this, i]() { _open[i] = nullptr; });
+        }
+    }
+    for (unsigned c = 0; c < _topo.numCmps; ++c) {
+        if (_ctrlDomain[_topo.globalIndex(_topo.mem(c))] == domain) {
+            b(_intraGateways[c]);
+            b(_memEgress[c]);
+        }
+        b(memIngressLink(c, domain));
+        for (unsigned dc = 0; dc < _topo.numCmps; ++dc)
+            b(interLink(c, dc, domain));
     }
 }
 

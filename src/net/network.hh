@@ -32,12 +32,14 @@
  * DomainState (delivery pool, open batches' side, traffic counters),
  * so domains share no mutable state inside a window. Same-domain
  * messages deliver exactly as in serial mode; a cross-domain message
- * is computed up to the point where it leaves its last source-owned
- * link, then handed to the destination domain through a per-(src, dst)
+ * is computed to its final arrival tick on source-owned links, stamped
+ * with a canonical band-1 key (source domain, send sequence), and
+ * handed to the destination domain through a per-(src, dst)
  * FlipMailbox. The destination drains its inboxes at the window
- * boundary in canonical (source domain, send order) sequence and
- * finishes any remaining destination-owned traversal (the home memory
- * ingress link) with its own link state.
+ * boundary and schedules each handoff unbatched at its key, so the
+ * committed delivery order is independent of worker count — the
+ * property the optimistic kernel's commit/rollback arbitration is
+ * built on.
  *
  * Because a sub-CMP map places several domains on one chip, each
  * directed inter-CMP link splits into *per-source-domain virtual
@@ -80,6 +82,7 @@ namespace tokencmp {
 
 class Controller;
 class Network;
+class SnapshotBuilder;
 
 /** Link latencies and bandwidths (paper Table 3 defaults). */
 struct NetworkParams
@@ -130,6 +133,15 @@ class DeliverEvent final : public Event
 
     void process() override;
     void release() override;
+
+    /** Speculation journal word: the batch size, which process()
+     *  zeroes. Restoring it makes a rolled-back delivery re-invocable
+     *  with the same messages (the spill block is kept). */
+    std::uint64_t specSave() override { return _count; }
+    void specRestore(std::uint64_t v) override
+    {
+        _count = std::uint32_t(v);
+    }
 
   private:
     friend class Network;
@@ -209,21 +221,50 @@ class Network
 
     /**
      * Flip every cross-domain mailbox (single-threaded, at the window
-     * barrier) and lower `earliest[d]` to the earliest handoff tick
-     * now pending for domain d. The ticks are lower bounds on the
-     * handoffs' final arrivals (a destination-owned memory-ingress
-     * traversal may still follow); the per-item minima were
-     * accumulated by the producers at push time, so this scan is O(1)
-     * per channel.
+     * barrier) and lower `earliest[d]` to the earliest handoff arrival
+     * now pending for domain d; the per-item minima were accumulated
+     * by the producers at push time, so this scan is O(1) per channel.
      */
     void flipMailboxes(std::vector<Tick> &earliest);
 
     /**
      * Drain `domain`'s flipped inboxes in canonical (source domain,
-     * send order) sequence: finish destination-owned link traversal
-     * and enqueue the deliveries on the domain's queue.
+     * send order) sequence: each handoff is enqueued unbatched at its
+     * band-1 key, so the committed delivery order is a pure function
+     * of the execution — never of worker count or barrier timing.
      */
     void intakeMailboxes(unsigned domain);
+
+    // -- Speculation support (ShardedKernel optimistic mode) ---------
+
+    /**
+     * Let send() observe the kernel's window mode: while the kernel
+     * reports a speculative window, cross-domain sends are staged
+     * (tagged with the sender's current checkpoint segment) instead of
+     * mailboxed, and released — or dropped with their segment — at the
+     * commit barrier.
+     */
+    void attachKernel(const ShardedKernel *k) { _kernel = k; }
+
+    /** Report every staged send to the kernel's commit arbitration. */
+    void collectStaged(std::vector<ShardedKernel::StagedEntry> &out);
+
+    /**
+     * Commit barrier: push every staged handoff whose segment survived
+     * (seg <= keep[src]) into its mailbox in staging order, drop the
+     * rest (their senders are about to roll back and re-send), then
+     * flip all mailboxes.
+     */
+    void commitFlip(const std::vector<unsigned> &keep,
+                    std::vector<Tick> &earliest);
+
+    /**
+     * Checkpoint one domain's slice of the network into `b`: its
+     * DomainState counters and send sequence, every link occupancy it
+     * owns, and its controllers' open-batch slots (cleared on restore
+     * — the events they point at may be recycled by the rollback).
+     */
+    void specCapture(unsigned domain, SnapshotBuilder &b);
 
     /**
      * Send a message after `sender_delay` ticks of local processing
@@ -293,14 +334,22 @@ class Network
         Tick busy = 0;  //!< cumulative serialization (busy) time
     };
 
-    /** A message crossing a domain boundary. `tick` is when it left
-     *  the last source-owned link; `memIngress` marks the remaining
-     *  home-memory-link traversal the destination performs. */
+    /** A message crossing a domain boundary: its final arrival tick
+     *  (every link on the path is source-owned, so the sender computes
+     *  it completely) and its canonical band-1 delivery key. */
     struct Handoff
     {
         Msg msg;
         Tick tick = 0;
-        bool memIngress = false;
+        std::uint64_t key = 0;
+    };
+
+    /** A cross-domain send held back by a speculative window, tagged
+     *  with the checkpoint segment that produced it. */
+    struct StagedHandoff
+    {
+        unsigned seg = 0;
+        Handoff h;
     };
 
     /** Mutable delivery state owned by exactly one domain. */
@@ -313,6 +362,8 @@ class Network
         std::uint64_t totalMsgs = 0;
         std::uint64_t wakeups = 0;
         std::uint64_t batched = 0;
+        std::uint64_t sendSeq = 0;  //!< band-1 key source; snapshot-
+                                    //!< restored so replays reuse keys
         std::array<std::array<std::uint64_t,
                               unsigned(TrafficClass::NumClasses)>,
                    unsigned(NetLevel::NumLevels)>
@@ -359,9 +410,11 @@ class Network
 
     void account(NetLevel level, const Msg &msg, unsigned domain);
 
-    /** Schedule delivery on `domain`'s queue (src == dst domain or
-     *  mailbox intake). */
+    /** Schedule delivery on `domain`'s queue (src == dst domain). */
     void deliverLocal(const Msg &msg, Tick arrival, unsigned domain);
+
+    /** Schedule one handoff unbatched at its band-1 key (intake). */
+    void deliverKeyed(const Handoff &h, unsigned domain);
 
     /** Domain that owns a controller under the installed shard map. */
     unsigned
@@ -393,6 +446,16 @@ class Network
         return _mail[src * numDomains() + dst];
     }
 
+    /** Virtual channel of a CMP's memory ingress link for one source
+     *  domain — source-owned like the inter-CMP channels, so a sender
+     *  can finish the whole path (and know the final arrival tick) at
+     *  send time. */
+    Link &
+    memIngressLink(unsigned cmp, unsigned src_domain)
+    {
+        return _memIngress[cmp * _numVC + src_domain];
+    }
+
     /**
      * Minimum time any message can take between two controllers
      * (EventQueue::noTick for invalid pairs, e.g. mem-to-mem). Sums
@@ -416,7 +479,8 @@ class Network
     std::vector<Link> _intraPorts;                //!< per source port
     std::vector<Link> _intraGateways;             //!< inbound, per CMP
     std::vector<Link> _interLinks;  //!< (src CMP, dst CMP) x src domain
-    std::vector<Link> _memLinks;                  //!< 2 per CMP (to/from)
+    std::vector<Link> _memEgress;   //!< mem -> CMP, per CMP
+    std::vector<Link> _memIngress;  //!< CMP -> mem, per CMP x src domain
 
     /** Latest still-open batch per destination controller. */
     std::vector<DeliverEvent *> _open;
@@ -427,6 +491,13 @@ class Network
     std::vector<unsigned> _ctrlDomain;  //!< controller -> domain
     std::vector<Tick> _lookahead;       //!< numDomains^2 (src, dst)
     unsigned _numVC = 1;  //!< virtual channels per inter-CMP link
+
+    /** Cross-domain sends held back by a speculative window, per
+     *  (src, dst) channel like _mail; drained at the commit barrier. */
+    std::vector<std::vector<StagedHandoff>> _staging;
+
+    /** Kernel whose window mode gates staging (optimistic runs). */
+    const ShardedKernel *_kernel = nullptr;
 
     /** Handoffs pushed but not yet enqueued at a destination; relaxed
      *  increments/decrements from domain workers, read at barriers. */

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Speculation primitives shared by the optimistic sharded kernel and
+ * its clients: the canonical commit-order key, the per-domain undo log
+ * for cross-domain shared state, and the copy-closure snapshot builder
+ * for domain-local model state.
+ *
+ * Commit-order contract: every event executes at a 128-bit key
+ * (tick, seq). Locally scheduled events draw seq from the queue's
+ * monotone insertion counter (band 0); cross-domain handoffs are
+ * scheduled with an explicit band-1 key derived from their source
+ * domain and per-source send sequence. Band 1 keys carry the top bit,
+ * so at equal ticks all local events sort before all handoffs, and
+ * handoffs sort by (srcDomain, sendSeq) — an order that depends only
+ * on the committed execution, never on which barrier or worker
+ * delivered the message. That is what makes the optimistic kernel's
+ * committed event order bit-identical to the conservative kernel's.
+ */
+
+#ifndef TOKENCMP_SIM_SPEC_HH
+#define TOKENCMP_SIM_SPEC_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace tokencmp {
+
+/** Execution-order key of one event: (tick, sequence). */
+struct ExecKey
+{
+    Tick when = 0;
+    std::uint64_t seq = 0;
+
+    friend bool
+    operator<(const ExecKey &a, const ExecKey &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    friend bool
+    operator==(const ExecKey &a, const ExecKey &b)
+    {
+        return a.when == b.when && a.seq == b.seq;
+    }
+};
+
+/** Band-1 marker: the top bit of an event sequence number. Band-0
+ *  (local) seqs come from the insertion counter and stay below it. */
+inline constexpr std::uint64_t seqBandBit = std::uint64_t(1) << 63;
+
+/** Bits of the per-source send sequence inside a band-1 key. */
+inline constexpr unsigned handoffSeqBits = 40;
+
+/**
+ * Canonical band-1 key for a cross-domain handoff: all band-1 keys
+ * sort after every band-0 key at the same tick, and among themselves
+ * by (srcDomain, sendSeq). 2^23 domains x 2^40 sends per source.
+ */
+inline constexpr std::uint64_t
+handoffKey(unsigned src_domain, std::uint64_t send_seq)
+{
+    return seqBandBit |
+           (std::uint64_t(src_domain) << handoffSeqBits) |
+           (send_seq & ((std::uint64_t(1) << handoffSeqBits) - 1));
+}
+
+/** True for keys of cross-domain handoffs (band 1). */
+inline constexpr bool
+isHandoffKey(std::uint64_t seq)
+{
+    return (seq & seqBandBit) != 0;
+}
+
+/**
+ * Per-domain undo log for *shared* state a rollback cannot restore by
+ * snapshot, because other domains mutate it concurrently (the token
+ * auditor's per-block ledgers, the backing store, workload checkers,
+ * global atomic counters). Mutation sites push an inverse closure;
+ * rollback runs the closures above a checkpoint's watermark in
+ * reverse. Soundness: entries either target per-block/per-lock state
+ * that only one domain can touch within an epoch (ownership moves
+ * only via committed messages), or apply commutative deltas to
+ * atomics/ledgers, so replaying inverses per-domain restores exactly
+ * this domain's contribution regardless of interleaving.
+ */
+class SpecLog
+{
+  public:
+    /** Record the inverse of a mutation just performed. */
+    template <typename F>
+    void
+    push(F &&undo)
+    {
+        _undo.emplace_back(std::forward<F>(undo));
+    }
+
+    /** Watermark for a checkpoint. */
+    std::size_t mark() const { return _undo.size(); }
+
+    /** Undo every mutation logged after `mark`, newest first. */
+    void
+    rollbackTo(std::size_t mark)
+    {
+        while (_undo.size() > mark) {
+            _undo.back()();
+            _undo.pop_back();
+        }
+    }
+
+    /** Commit: forget all logged inverses. */
+    void clear() { _undo.clear(); }
+
+    std::size_t size() const { return _undo.size(); }
+
+  private:
+    std::vector<std::function<void()>> _undo;
+};
+
+/**
+ * Checkpoint builder for domain-*local* model state: visiting a field
+ * copies its current value and records a closure that writes the copy
+ * back on rollback. Controllers, sequencers, threads and the network's
+ * per-domain slices implement `specCapture(SnapshotBuilder &)` by
+ * listing their mutable members; anything missed shows up as
+ * nondeterminism in the abort-injection fuzz battery.
+ */
+class SnapshotBuilder
+{
+  public:
+    /** Capture one copyable field. */
+    template <typename T>
+    void
+    operator()(T &field)
+    {
+        _restore.push_back(
+            [&field, copy = field]() mutable { field = copy; });
+    }
+
+    /** Capture a std::atomic (copied/restored with relaxed order:
+     *  checkpoints and rollbacks happen with the domain quiescent). */
+    template <typename A>
+    void
+    atomic(A &field)
+    {
+        _restore.push_back(
+            [&field, copy = field.load(std::memory_order_relaxed)]() {
+                field.store(copy, std::memory_order_relaxed);
+            });
+    }
+
+    /** Record an arbitrary action to run on rollback (e.g. clearing a
+     *  cached pointer that may dangle after events are recycled). */
+    template <typename F>
+    void
+    onRestore(F &&f)
+    {
+        _restore.push_back(std::forward<F>(f));
+    }
+
+    /** Run every recorded restore closure. */
+    void
+    restoreAll()
+    {
+        for (auto &r : _restore)
+            r();
+    }
+
+    std::size_t size() const { return _restore.size(); }
+
+  private:
+    std::vector<std::function<void()>> _restore;
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_SIM_SPEC_HH

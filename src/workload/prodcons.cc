@@ -64,6 +64,15 @@ class ProducerThread : public ThreadContext
         });
     }
 
+  public:
+    void
+    specCapture(SnapshotBuilder &b) override
+    {
+        ThreadContext::specCapture(b);
+        b(_produced);
+    }
+
+  private:
     ProdConsWorkload &_wl;
     unsigned _pair;
     std::uint64_t _produced = 0;
@@ -115,7 +124,7 @@ class ConsumerThread : public ThreadContext
     {
         const unsigned slot = _consumed % _wl.params().queueSlots;
         load(_wl.slotAddr(_pair, slot), [this](std::uint64_t item) {
-            _wl.noteConsumed(_consumed + 1, item);
+            _wl.noteConsumed(_ctx, _consumed + 1, item);
             ++_consumed;
             store(_wl.headAddr(_pair), _consumed, [this]() {
                 const Tick mean = _wl.params().thinkMean;
@@ -125,6 +134,15 @@ class ConsumerThread : public ThreadContext
         });
     }
 
+  public:
+    void
+    specCapture(SnapshotBuilder &b) override
+    {
+        ThreadContext::specCapture(b);
+        b(_consumed);
+    }
+
+  private:
     ProdConsWorkload &_wl;
     unsigned _pair;
     std::uint64_t _consumed = 0;
@@ -220,7 +238,7 @@ ProdConsWorkload::makeThread(SimContext &ctx, Sequencer &seq,
 }
 
 void
-ProdConsWorkload::noteConsumed(std::uint64_t expected,
+ProdConsWorkload::noteConsumed(SimContext &ctx, std::uint64_t expected,
                                std::uint64_t value)
 {
     // Consumers on concurrent shard domains report through this hook;
@@ -228,8 +246,17 @@ ProdConsWorkload::noteConsumed(std::uint64_t expected,
     // number) never depends on interleaving, only the counters do.
     std::lock_guard<std::mutex> guard(_mu);
     ++_totalConsumed;
-    if (value != expected)
+    const bool bumped = value != expected;
+    if (bumped)
         ++_violations;
+    if (ctx.speculating()) {
+        ctx.spec.push([this, bumped]() {
+            std::lock_guard<std::mutex> guard(_mu);
+            --_totalConsumed;
+            if (bumped)
+                --_violations;
+        });
+    }
 }
 
 std::unique_ptr<ThreadContext>

@@ -610,7 +610,8 @@ mapFor(const Topology &t, ShardMapKind kind)
 RunSummary
 runSystem(Protocol proto, unsigned shards, SchedulerKind sched,
           std::uint64_t seed,
-          ShardMapKind map_kind = ShardMapKind::PerCmp)
+          ShardMapKind map_kind = ShardMapKind::PerCmp,
+          SpeculationMode mode = SpeculationMode::Off)
 {
     SystemConfig cfg;
     cfg.protocol = proto;
@@ -618,6 +619,7 @@ runSystem(Protocol proto, unsigned shards, SchedulerKind sched,
     cfg.shards = shards;
     cfg.scheduler = sched;
     cfg.shardMap = mapFor(cfg.topo, map_kind);
+    cfg.speculation = mode;
     cfg.finalize();
 
     SyntheticParams p = oltpParams();
@@ -705,6 +707,59 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1u, 2u, 4u, 8u)),
     [](const auto &info) {
         std::string name(protocolName(std::get<0>(info.param)));
+        name += std::string("_") +
+                shardMapKindName(std::get<1>(info.param));
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name + "_shards" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+/**
+ * Mode axis of the determinism battery: the optimistic kernel must be
+ * exactly as worker-invariant as the conservative one, per shard map.
+ * kernel.aborts / kernel.commits / kernel.windows are included in the
+ * comparison — the contention manager's arbitration is part of the
+ * deterministic contract, so even the rollback schedule may not depend
+ * on the worker count.
+ */
+class ModeSweep
+    : public ::testing::TestWithParam<
+          std::tuple<SpeculationMode, ShardMapKind, unsigned>>
+{};
+
+TEST_P(ModeSweep, StatsBitIdenticalAcrossWorkerCounts)
+{
+    const SpeculationMode mode = std::get<0>(GetParam());
+    const ShardMapKind map = std::get<1>(GetParam());
+    const unsigned shards = std::get<2>(GetParam());
+
+    const RunSummary base = runSystem(
+        Protocol::TokenDst1, 1, SchedulerKind::TimingWheel, 11, map,
+        mode);
+    ASSERT_TRUE(base.completed);
+    EXPECT_EQ(base.violations, 0u);
+
+    const RunSummary run = runSystem(
+        Protocol::TokenDst1, shards, SchedulerKind::TimingWheel, 11,
+        map, mode);
+    expectSameRun(run, base,
+                  std::string(speculationModeName(mode)) + " map=" +
+                      shardMapKindName(map) + " shards=" +
+                      std::to_string(shards));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesByMapByWorkers, ModeSweep,
+    ::testing::Combine(::testing::Values(SpeculationMode::Off,
+                                         SpeculationMode::Optimistic),
+                       ::testing::Values(ShardMapKind::PerCmp,
+                                         ShardMapKind::PerL1Bank),
+                       ::testing::Values(1u, 2u, 4u, 8u)),
+    [](const auto &info) {
+        std::string name(speculationModeName(std::get<0>(info.param)));
         name += std::string("_") +
                 shardMapKindName(std::get<1>(info.param));
         for (char &c : name) {

@@ -1,0 +1,857 @@
+/**
+ * @file
+ * Abort-injection battery for the optimistic sharded kernel.
+ *
+ * The model here (SpecToy) is the smallest client that exercises every
+ * speculation surface: per-shard actors doing RNG-driven local work,
+ * cross-shard pings with band-1 handoff keys, a staging buffer that
+ * holds speculative sends until commit, and SnapshotBuilder state
+ * snapshots per checkpoint. The battery's core claim: for a fixed
+ * seed, the optimistic kernel — with or without randomized *forced*
+ * aborts injected on top of the organic ones — commits exactly the
+ * execution the conservative kernel runs, bit for bit: same per-shard
+ * checksums (an order-sensitive hash of every committed event), same
+ * counters, same executed-event counts, same final clocks, for every
+ * worker count and both scheduler backends.
+ *
+ * EventQueue-level unit tests at the bottom pin the journal mechanics
+ * (checkpoint/rollback/commit, held releases, keyed re-insertion)
+ * without the kernel in the loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/sharded_kernel.hh"
+#include "sim/spec.hh"
+#include "system/system.hh"
+#include "workload/synthetic.hh"
+
+namespace tokencmp {
+namespace {
+
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdull;
+    return h ^ (h >> 33);
+}
+
+std::uint64_t
+xorshift(std::uint64_t &s)
+{
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+}
+
+/** One cross-shard ping. */
+struct Ping
+{
+    Tick arrival;
+    std::uint64_t key;
+    unsigned actor;
+    std::uint64_t value;
+};
+
+/** A ping held in staging until its sending segment commits. */
+struct StagedPing
+{
+    unsigned seg;
+    Ping ping;
+};
+
+/**
+ * Minimal speculation-capable model: `actors` self-rescheduling event
+ * chains per shard, each occasionally pinging another shard. All
+ * mutable state lives in per-shard slots so checkpoints are a plain
+ * member listing.
+ */
+class SpecToy
+{
+  public:
+    static constexpr Tick latency = 100;   //!< cross-shard lookahead
+    static constexpr unsigned actors = 3;
+
+    SpecToy(unsigned shards, std::uint64_t seed, Tick stopTick,
+            SchedulerKind kind, unsigned pingPct)
+        : _n(shards), _stopTick(stopTick), _pingPct(pingPct)
+    {
+        _queues.reserve(shards);
+        for (unsigned s = 0; s < shards; ++s)
+            _queues.push_back(std::make_unique<EventQueue>(kind));
+        _shards.resize(shards);
+        _mail.resize(std::size_t(shards) * shards);
+        _staging.resize(std::size_t(shards) * shards);
+        for (unsigned s = 0; s < shards; ++s) {
+            _shards[s].rng = mix(seed, s + 1) | 1;
+            for (unsigned a = 0; a < actors; ++a) {
+                const Tick t0 = 10 + 7 * a + (s % 5);
+                _queues[s]->scheduleAbs(
+                    t0, [this, s, a] { actorFire(s, a); });
+            }
+        }
+    }
+
+    std::vector<EventQueue *>
+    queuePtrs()
+    {
+        std::vector<EventQueue *> v;
+        for (auto &q : _queues)
+            v.push_back(q.get());
+        return v;
+    }
+
+    void attach(ShardedKernel *k) { _kernel = k; }
+
+    ShardedKernel::Hooks
+    hooks()
+    {
+        ShardedKernel::Hooks h;
+        h.onBarrier = [this](std::vector<Tick> &earliest) {
+            flipAll(earliest);
+        };
+        h.intake = [this](unsigned s) { intake(s); };
+        h.checkpoint = [this](unsigned s) { checkpoint(s); };
+        h.rollback = [this](unsigned s, unsigned keep) {
+            auto &st = _shards[s].snaps;
+            ASSERT_LT(keep, st.size());
+            st[keep].restoreAll();
+            st.resize(keep);
+        };
+        h.commitShard = [this](unsigned s) {
+            _shards[s].snaps.clear();
+        };
+        h.collectStaged =
+            [this](std::vector<ShardedKernel::StagedEntry> &out) {
+                for (unsigned src = 0; src < _n; ++src) {
+                    for (unsigned dst = 0; dst < _n; ++dst) {
+                        for (const StagedPing &sp :
+                             _staging[src * _n + dst]) {
+                            out.push_back({src, dst, sp.seg,
+                                           sp.ping.arrival,
+                                           sp.ping.key});
+                        }
+                    }
+                }
+            };
+        h.commitFlip = [this](const std::vector<unsigned> &keep,
+                              std::vector<Tick> &earliest) {
+            for (unsigned src = 0; src < _n; ++src) {
+                for (unsigned dst = 0; dst < _n; ++dst) {
+                    auto &stage = _staging[src * _n + dst];
+                    for (const StagedPing &sp : stage) {
+                        if (sp.seg <= keep[src])
+                            _mail[src * _n + dst].push(
+                                sp.ping, sp.ping.arrival);
+                    }
+                    stage.clear();
+                }
+            }
+            flipAll(earliest);
+        };
+        return h;
+    }
+
+    std::uint64_t checksum(unsigned s) const
+    {
+        return _shards[s].checksum;
+    }
+    std::uint64_t ops(unsigned s) const { return _shards[s].ops; }
+    std::uint64_t pings(unsigned s) const { return _shards[s].pings; }
+    std::uint64_t sendSeq(unsigned s) const { return _shards[s].sendSeq; }
+    Tick clock(unsigned s) const { return _queues[s]->curTick(); }
+    std::uint64_t executed(unsigned s) const
+    {
+        return _queues[s]->executed();
+    }
+
+  private:
+    /** Keyed delivery of one ping; pooled per test run via new/delete
+     *  (release is deferred by the journal during speculation). */
+    struct PingEvent final : Event
+    {
+        SpecToy *toy = nullptr;
+        unsigned shard = 0;
+        Ping ping{};
+
+        void process() override { toy->onPing(shard, ping); }
+        void release() override { delete this; }
+    };
+
+    struct Shard
+    {
+        std::uint64_t rng = 1;
+        std::uint64_t sendSeq = 0;
+        std::uint64_t ops = 0;
+        std::uint64_t pings = 0;
+        std::uint64_t checksum = 0;
+        std::vector<SnapshotBuilder> snaps;
+    };
+
+    void
+    checkpoint(unsigned s)
+    {
+        Shard &sh = _shards[s];
+        sh.snaps.emplace_back();
+        SnapshotBuilder &b = sh.snaps.back();
+        b(sh.rng);
+        b(sh.sendSeq);
+        b(sh.ops);
+        b(sh.pings);
+        b(sh.checksum);
+    }
+
+    void
+    actorFire(unsigned s, unsigned a)
+    {
+        Shard &sh = _shards[s];
+        const Tick now = _queues[s]->curTick();
+        const std::uint64_t r = xorshift(sh.rng);
+        ++sh.ops;
+        sh.checksum = mix(sh.checksum,
+                          now ^ (std::uint64_t(a) << 32) ^ r);
+        if (_n > 1 && r % 100 < _pingPct) {
+            const unsigned dst =
+                (s + 1 + unsigned((r / 100) % (_n - 1))) % _n;
+            send(s, dst, a, r);
+        }
+        const Tick next = now + 40 + r % 170;
+        if (next <= _stopTick) {
+            _queues[s]->scheduleAbs(
+                next, [this, s, a] { actorFire(s, a); });
+        }
+    }
+
+    void
+    onPing(unsigned s, const Ping &p)
+    {
+        Shard &sh = _shards[s];
+        ++sh.pings;
+        sh.checksum = mix(sh.checksum, p.key ^ p.value);
+        // The ping perturbs the receiver's RNG stream: a ping
+        // committed at the wrong point in the order changes every
+        // later local decision on the shard, so the checksum
+        // comparison is maximally sensitive to ordering bugs. The
+        // follow-up echo exercises schedule-undo during rollback
+        // without growing the steady-state event population.
+        sh.rng = mix(sh.rng, p.value) | 1;
+        const Tick now = _queues[s]->curTick();
+        if (now + 25 <= _stopTick) {
+            _queues[s]->scheduleAbs(now + 25, [this, s] {
+                Shard &echo = _shards[s];
+                echo.checksum =
+                    mix(echo.checksum, _queues[s]->curTick());
+            });
+        }
+    }
+
+    void
+    send(unsigned src, unsigned dst, unsigned actor,
+         std::uint64_t value)
+    {
+        Shard &sh = _shards[src];
+        const Tick arrival = _queues[src]->curTick() + latency;
+        const Ping p{arrival, handoffKey(src, sh.sendSeq++), actor,
+                     value};
+        if (_kernel != nullptr && _kernel->speculativeWindow()) {
+            _staging[src * _n + dst].push_back(
+                {_queues[src]->specCheckpoints(), p});
+        } else {
+            _mail[src * _n + dst].push(p, arrival);
+        }
+    }
+
+    void
+    flipAll(std::vector<Tick> &earliest)
+    {
+        for (unsigned src = 0; src < _n; ++src) {
+            for (unsigned dst = 0; dst < _n; ++dst) {
+                FlipMailbox<Ping> &m = _mail[src * _n + dst];
+                m.flip();
+                earliest[dst] =
+                    std::min(earliest[dst], m.pendingMin());
+            }
+        }
+    }
+
+    void
+    intake(unsigned s)
+    {
+        for (unsigned src = 0; src < _n; ++src) {
+            FlipMailbox<Ping> &m = _mail[src * _n + s];
+            for (const Ping &p : m.pending()) {
+                auto *e = new PingEvent;
+                e->toy = this;
+                e->shard = s;
+                e->ping = p;
+                _queues[s]->scheduleKeyed(e, p.arrival, p.key);
+            }
+            m.clearPending();
+        }
+    }
+
+    unsigned _n;
+    Tick _stopTick;
+    unsigned _pingPct;
+    ShardedKernel *_kernel = nullptr;
+    std::vector<std::unique_ptr<EventQueue>> _queues;
+    std::vector<Shard> _shards;
+    std::vector<FlipMailbox<Ping>> _mail;
+    std::vector<std::vector<StagedPing>> _staging;
+};
+
+struct ToyResult
+{
+    std::vector<std::uint64_t> checksum, ops, pings, sendSeq, executed;
+    std::vector<Tick> clock;
+    std::uint64_t aborts = 0, commits = 0;
+    ShardedKernel::Outcome outcome = ShardedKernel::Outcome::Drained;
+};
+
+ToyResult
+runToy(unsigned shards, std::uint64_t seed, unsigned workers,
+       SchedulerKind kind, const SpecParams &params,
+       std::function<unsigned(unsigned, unsigned, std::uint64_t)> inj =
+           nullptr,
+       unsigned pingPct = 30)
+{
+    SpecToy toy(shards, seed, /*stopTick=*/30'000, kind, pingPct);
+    ShardedKernel kernel(toy.queuePtrs(), SpecToy::latency, workers);
+    toy.attach(&kernel);
+    kernel.setHooks(toy.hooks());
+    kernel.setSpeculation(params);
+    if (inj)
+        kernel.setAbortInjector(std::move(inj));
+    ToyResult r;
+    r.outcome = kernel.run();
+    r.aborts = kernel.aborts();
+    r.commits = kernel.commits();
+    for (unsigned s = 0; s < shards; ++s) {
+        r.checksum.push_back(toy.checksum(s));
+        r.ops.push_back(toy.ops(s));
+        r.pings.push_back(toy.pings(s));
+        r.sendSeq.push_back(toy.sendSeq(s));
+        r.executed.push_back(toy.executed(s));
+        r.clock.push_back(toy.clock(s));
+    }
+    return r;
+}
+
+void
+expectSameCommitted(const ToyResult &a, const ToyResult &b)
+{
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_EQ(a.pings, b.pings);
+    EXPECT_EQ(a.sendSeq, b.sendSeq);
+    // Rolled-back executions are subtracted from executed(), so even
+    // the event counts agree with the conservative run.
+    EXPECT_EQ(a.executed, b.executed);
+    EXPECT_EQ(a.clock, b.clock);
+    EXPECT_EQ(int(a.outcome), int(b.outcome));
+}
+
+SpecParams
+optimistic(Tick interval = 400, unsigned maxCkpts = 4)
+{
+    SpecParams p;
+    p.optimistic = true;
+    p.checkpointInterval = interval;
+    p.maxCheckpoints = maxCkpts;
+    return p;
+}
+
+TEST(SpeculativeKernel, OptimisticMatchesConservative)
+{
+    for (const auto kind :
+         {SchedulerKind::TimingWheel, SchedulerKind::ReferenceHeap}) {
+        const ToyResult cons =
+            runToy(4, 0xfeedu, 1, kind, SpecParams{});
+        for (unsigned workers : {1u, 2u, 4u}) {
+            SCOPED_TRACE(testing::Message()
+                         << schedulerKindName(kind) << " workers="
+                         << workers);
+            const ToyResult opt =
+                runToy(4, 0xfeedu, workers, kind, optimistic());
+            expectSameCommitted(cons, opt);
+        }
+    }
+}
+
+TEST(SpeculativeKernel, SparseTrafficCommitsSpeculation)
+{
+    // Low cross-shard coupling is where optimism pays: most windows
+    // see no staged traffic, so the commit bound stays ahead of the
+    // speculated frontiers and whole segment budgets commit. The
+    // committed run must still be the conservative one, and the
+    // commit count worker-invariant.
+    const unsigned pingPct = 2;
+    for (const auto kind :
+         {SchedulerKind::TimingWheel, SchedulerKind::ReferenceHeap}) {
+        const ToyResult cons = runToy(4, 0x533du, 1, kind,
+                                      SpecParams{}, nullptr, pingPct);
+        const ToyResult w1 = runToy(4, 0x533du, 1, kind, optimistic(),
+                                    nullptr, pingPct);
+        SCOPED_TRACE(schedulerKindName(kind));
+        expectSameCommitted(cons, w1);
+        EXPECT_GT(w1.commits, 0u) << "sparse workload never committed";
+        for (unsigned workers : {2u, 4u}) {
+            SCOPED_TRACE(workers);
+            const ToyResult w = runToy(4, 0x533du, workers, kind,
+                                       optimistic(), nullptr, pingPct);
+            expectSameCommitted(cons, w);
+            EXPECT_EQ(w1.commits, w.commits);
+            EXPECT_EQ(w1.aborts, w.aborts);
+        }
+    }
+}
+
+TEST(SpeculativeKernel, OrganicAbortsHappenAndStayDeterministic)
+{
+    // A tight checkpoint interval with chatty actors makes real
+    // cross-shard messages land in speculated pasts. The committed
+    // execution must still be the conservative one, and the abort
+    // count itself must be worker-invariant (the arbitration fixpoint
+    // is part of the deterministic contract).
+    const ToyResult cons = runToy(6, 0xabcdu, 1,
+                                  SchedulerKind::TimingWheel,
+                                  SpecParams{});
+    const ToyResult w1 = runToy(6, 0xabcdu, 1,
+                                SchedulerKind::TimingWheel,
+                                optimistic(250, 6));
+    EXPECT_GT(w1.aborts, 0u) << "workload too tame to self-abort";
+    for (unsigned workers : {2u, 4u}) {
+        SCOPED_TRACE(workers);
+        const ToyResult w = runToy(6, 0xabcdu, workers,
+                                   SchedulerKind::TimingWheel,
+                                   optimistic(250, 6));
+        expectSameCommitted(cons, w);
+        EXPECT_EQ(w1.aborts, w.aborts);
+        EXPECT_EQ(w1.commits, w.commits);
+    }
+}
+
+TEST(SpeculativeKernel, AbortInjectionFuzz)
+{
+    // Randomized forced-abort schedules: a keyed hash of (shard,
+    // segments, window round) decides whether — and how deep — to
+    // force a rollback. Every schedule must leave the committed run
+    // bit-identical to the conservative one.
+    for (std::uint64_t seed : {0x11ull, 0x22ull, 0x33ull, 0x44ull}) {
+        const ToyResult cons = runToy(4, seed, 1,
+                                      SchedulerKind::TimingWheel,
+                                      SpecParams{});
+        for (std::uint64_t fuzz : {1ull, 2ull, 3ull}) {
+            SCOPED_TRACE(testing::Message()
+                         << "seed=" << seed << " fuzz=" << fuzz);
+            auto inj = [fuzz](unsigned shard, unsigned segs,
+                              std::uint64_t round) -> unsigned {
+                const std::uint64_t h =
+                    mix(fuzz, mix(shard + 1, round));
+                if (segs == 0 || h % 4 != 0)
+                    return segs;  // no forced abort
+                return unsigned(h >> 8) % segs;
+            };
+            const ToyResult opt =
+                runToy(4, seed, 2, SchedulerKind::TimingWheel,
+                       optimistic(), inj);
+            expectSameCommitted(cons, opt);
+            EXPECT_GT(opt.aborts, 0u);
+        }
+    }
+}
+
+TEST(SpeculativeKernel, EwmaFallbackEngagesAndRecovers)
+{
+    // Force two of three shards to abort every speculative window:
+    // the EWMA (converging toward 2/3) must trip the conservative
+    // fallback, decay through the fallback rounds, re-enable
+    // speculation below half the threshold — and the committed run
+    // must still match through all of it.
+    const ToyResult cons = runToy(3, 0x77u, 1,
+                                  SchedulerKind::TimingWheel,
+                                  SpecParams{});
+    SpecParams p = optimistic();
+    p.abortEwmaAlpha = 0.5;
+    p.abortRateThreshold = 0.4;
+    auto inj = [](unsigned shard, unsigned segs, std::uint64_t)
+        -> unsigned { return shard <= 1 && segs > 0 ? segs - 1 : segs; };
+    const ToyResult opt = runToy(3, 0x77u, 2,
+                                 SchedulerKind::TimingWheel, p, inj);
+    expectSameCommitted(cons, opt);
+    EXPECT_GT(opt.aborts, 0u);
+    // With every speculative round aborting, an engaged fallback is
+    // the only way the run finishes with aborts << windows; the exact
+    // cadence is pinned by the determinism checks above.
+}
+
+TEST(SpeculativeKernel, SpeculationParamsValidated)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EventQueue q;
+    std::vector<EventQueue *> qs{&q};
+    ShardedKernel k(qs, 10, 1);
+    SpecParams p;
+    p.optimistic = true;
+    p.checkpointInterval = 0;
+    EXPECT_DEATH(k.setSpeculation(p), "checkpoint interval");
+    p = SpecParams{};
+    p.optimistic = true;
+    p.maxCheckpoints = 0;
+    EXPECT_DEATH(k.setSpeculation(p), "checkpoint segment");
+    p = SpecParams{};
+    p.optimistic = true;
+    p.abortRateThreshold = 0.0;
+    EXPECT_DEATH(k.setSpeculation(p), "threshold");
+    p.abortRateThreshold = 1.5;
+    EXPECT_DEATH(k.setSpeculation(p), "threshold");
+    p = SpecParams{};
+    p.optimistic = true;
+    p.abortEwmaAlpha = 0.0;
+    EXPECT_DEATH(k.setSpeculation(p), "alpha");
+}
+
+// ---------------------------------------------------------------------
+// Full-system battery: speculation over the real protocol stacks.
+// ---------------------------------------------------------------------
+
+/**
+ * One fig6-style cell (OLTP-proxy mix, test-sized) through the full
+ * System: caches, protocol controllers, network, workload checkers.
+ * `injectSeed != 0` layers a randomized forced-abort schedule on top
+ * of the organic aborts.
+ */
+System::RunResult
+runFig6Cell(Protocol proto, SpeculationMode mode, ShardMapKind map,
+            unsigned workers, std::uint64_t injectSeed = 0)
+{
+    SystemConfig cfg;
+    cfg.protocol = proto;
+    cfg.seed = 11;
+    cfg.shards = workers;
+    cfg.shardMap.kind = map;
+    cfg.speculation = mode;
+    cfg.finalize();
+    System sys(cfg);
+    if (injectSeed != 0) {
+        Random rng(injectSeed);
+        sys.setAbortInjector([rng](unsigned, unsigned segs,
+                                   std::uint64_t) mutable -> unsigned {
+            if (segs > 0 && rng.chance(0.3))
+                return unsigned(rng.uniform(segs));
+            return segs;
+        });
+    }
+    SyntheticParams p = oltpParams();
+    p.opsPerProc = 40;  // fig6-style mix, test-sized
+    SyntheticWorkload wl(p);
+    return sys.run(wl);
+}
+
+/**
+ * Bit-identity over everything the figures are built from: runtime,
+ * checker violations, and every stat except the kernel.* meta-counters
+ * (aborts/commits/windows legitimately differ across modes).
+ */
+void
+expectSameSystemRun(const System::RunResult &a,
+                    const System::RunResult &b)
+{
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.violations, b.violations);
+    auto modelKeys = [](const StatSet &s) {
+        std::size_t n = 0;
+        for (const auto &[k, v] : s.all())
+            n += k.rfind("kernel.", 0) != 0;
+        return n;
+    };
+    EXPECT_EQ(modelKeys(a.stats), modelKeys(b.stats));
+    for (const auto &[k, v] : a.stats.all()) {
+        if (k.rfind("kernel.", 0) == 0)
+            continue;
+        ASSERT_TRUE(b.stats.has(k)) << k;
+        EXPECT_EQ(v, b.stats.get(k)) << k;
+    }
+}
+
+TEST(SpeculativeSystem, Fig6CellBitIdenticalAcrossModes)
+{
+    for (Protocol proto :
+         {Protocol::TokenDst1, Protocol::DirectoryCMP}) {
+        for (ShardMapKind map :
+             {ShardMapKind::PerCmp, ShardMapKind::PerL1Bank}) {
+            SCOPED_TRACE(testing::Message()
+                         << protocolName(proto) << " map=" << int(map));
+            const auto cons = runFig6Cell(proto, SpeculationMode::Off,
+                                          map, 4);
+            const auto opt = runFig6Cell(
+                proto, SpeculationMode::Optimistic, map, 4);
+            ASSERT_TRUE(cons.completed);
+            expectSameSystemRun(cons, opt);
+        }
+    }
+}
+
+TEST(SpeculativeSystem, AbortInjectionFuzzMatchesConservative)
+{
+    // Randomized forced-abort schedules over fixed seeds: whatever
+    // the contention manager is made to throw away, the committed
+    // execution must stay the conservative one — final stats and the
+    // fig6-style capture bit-identical, for both protocol families.
+    struct Cell
+    {
+        Protocol proto;
+        ShardMapKind map;
+    };
+    for (const Cell &c :
+         {Cell{Protocol::TokenDst1, ShardMapKind::PerL1Bank},
+          Cell{Protocol::DirectoryCMP, ShardMapKind::PerCmp}}) {
+        const auto cons =
+            runFig6Cell(c.proto, SpeculationMode::Off, c.map, 4);
+        ASSERT_TRUE(cons.completed);
+        for (std::uint64_t seed : {777ull, 1234ull, 5150ull}) {
+            SCOPED_TRACE(testing::Message()
+                         << protocolName(c.proto) << " injSeed="
+                         << seed);
+            const auto inj = runFig6Cell(
+                c.proto, SpeculationMode::Optimistic, c.map, 4, seed);
+            expectSameSystemRun(cons, inj);
+            EXPECT_GT(inj.stats.get("kernel.aborts"), 0.0)
+                << "injector never fired";
+        }
+    }
+}
+
+TEST(SpeculativeConfigDeathTest, FinalizeRejectsInvalidSpec)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    {
+        // Speculation rides on the sharded kernel; the serial wheel
+        // has no windows to speculate across.
+        SystemConfig cfg;
+        cfg.speculation = SpeculationMode::Optimistic;
+        cfg.shards = 0;
+        EXPECT_DEATH(cfg.finalize(), "sharded kernel");
+    }
+    {
+        SystemConfig cfg;
+        cfg.speculation = SpeculationMode::Optimistic;
+        cfg.shards = 2;
+        cfg.spec.checkpointInterval = 0;
+        EXPECT_DEATH(cfg.finalize(), "checkpoint interval");
+    }
+    {
+        SystemConfig cfg;
+        cfg.speculation = SpeculationMode::Optimistic;
+        cfg.shards = 2;
+        cfg.spec.maxCheckpoints = 0;
+        EXPECT_DEATH(cfg.finalize(), "checkpoint segment");
+    }
+    {
+        SystemConfig cfg;
+        cfg.speculation = SpeculationMode::Optimistic;
+        cfg.shards = 2;
+        cfg.spec.abortRateThreshold = 0.0;
+        EXPECT_DEATH(cfg.finalize(), "threshold");
+        cfg.spec.abortRateThreshold = 1.5;
+        EXPECT_DEATH(cfg.finalize(), "threshold");
+    }
+    {
+        SystemConfig cfg;
+        cfg.speculation = SpeculationMode::Optimistic;
+        cfg.shards = 2;
+        cfg.spec.abortEwmaAlpha = 0.0;
+        EXPECT_DEATH(cfg.finalize(), "alpha");
+    }
+}
+
+// ---------------------------------------------------------------------
+// EventQueue journal mechanics, no kernel in the loop.
+// ---------------------------------------------------------------------
+
+struct QueueTrace
+{
+    std::vector<std::pair<Tick, int>> events;
+    std::uint64_t
+    hash() const
+    {
+        std::uint64_t h = 0;
+        for (const auto &[t, id] : events)
+            h = mix(h, std::uint64_t(t) ^ std::uint64_t(id));
+        return h;
+    }
+};
+
+/** Schedule a small self-extending workload onto `q`. */
+void
+seedWorkload(EventQueue &q, QueueTrace &trace)
+{
+    for (int i = 0; i < 5; ++i) {
+        q.scheduleAbs(10 + i * 3, [&q, &trace, i]() {
+            auto grow = [&q, &trace](auto &&self, int id,
+                                     Tick t) -> void {
+                trace.events.emplace_back(t, id);
+                if (t < 600) {
+                    q.scheduleAbs(t + 17 + (id % 5), [&q, &trace, id,
+                                                      t, self]() {
+                        self(self, id + 10, q.curTick());
+                    });
+                }
+            };
+            grow(grow, i, q.curTick());
+        });
+    }
+}
+
+TEST(EventQueueSpec, RollbackRestoresExactState)
+{
+    for (const auto kind :
+         {SchedulerKind::TimingWheel, SchedulerKind::ReferenceHeap}) {
+        SCOPED_TRACE(schedulerKindName(kind));
+
+        // Reference: run straight through.
+        EventQueue ref(kind);
+        QueueTrace refTrace;
+        seedWorkload(ref, refTrace);
+        ref.run();
+
+        // Speculative: run to 200, checkpoint, run to 400, roll back,
+        // re-run — the replay must reproduce the discarded span and
+        // the final trace must match the reference exactly.
+        EventQueue q(kind);
+        QueueTrace trace;
+        seedWorkload(q, trace);
+        q.run(200);
+        const std::size_t committedLen = trace.events.size();
+        const std::uint64_t executedAt200 = q.executed();
+
+        q.specCheckpoint();
+        q.run(400);
+        EXPECT_GT(trace.events.size(), committedLen);
+
+        q.specRollback(0);
+        q.specCommit();
+        EXPECT_EQ(q.executed(), executedAt200);
+        trace.events.resize(committedLen);  // model-side undo
+
+        q.specCheckpoint();
+        q.run(400);
+        q.specCommit();
+        q.run();
+        EXPECT_EQ(trace.hash(), refTrace.hash());
+        EXPECT_EQ(q.executed(), ref.executed());
+        EXPECT_EQ(q.curTick(), ref.curTick());
+    }
+}
+
+TEST(EventQueueSpec, MultiSegmentPartialRollback)
+{
+    EventQueue ref;
+    QueueTrace refTrace;
+    seedWorkload(ref, refTrace);
+    ref.run();
+
+    EventQueue q;
+    QueueTrace trace;
+    seedWorkload(q, trace);
+    q.run(100);
+
+    // Three segments; roll back to checkpoint 1 (keep segment 0).
+    q.specCheckpoint();
+    q.run(220);
+    const std::size_t seg0Len = trace.events.size();
+    q.specCheckpoint();
+    q.run(340);
+    q.specCheckpoint();
+    q.run(460);
+    q.specRollback(1);
+    trace.events.resize(seg0Len);
+    q.specCommit();
+
+    q.run();
+    EXPECT_EQ(trace.hash(), refTrace.hash());
+    EXPECT_EQ(q.executed(), ref.executed());
+}
+
+TEST(EventQueueSpec, KeyedScheduleOrdersCanonically)
+{
+    // Same tick: band-0 events execute before band-1 handoffs, and
+    // handoffs order by (srcDomain, sendSeq) — not insertion order.
+    EventQueue q;
+    std::vector<int> order;
+    struct Marker final : Event
+    {
+        std::vector<int> *out = nullptr;
+        int id = 0;
+        void process() override { out->push_back(id); }
+        void release() override { delete this; }
+    };
+    auto keyed = [&q, &order](Tick t, unsigned src, std::uint64_t seq,
+                              int id) {
+        auto *m = new Marker;
+        m->out = &order;
+        m->id = id;
+        q.scheduleKeyed(m, t, handoffKey(src, seq));
+    };
+    keyed(50, 2, 0, 103);
+    keyed(50, 1, 1, 102);
+    q.scheduleAbs(50, [&order] { order.push_back(1); });
+    keyed(50, 1, 0, 101);
+    q.scheduleAbs(50, [&order] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 101, 102, 103}));
+}
+
+TEST(EventQueueSpec, HeldEventsSurviveRollbackAcrossBackends)
+{
+    // An event executed speculatively must stay re-invocable through
+    // rollback (release deferred), then release exactly once at
+    // commit. Run the same schedule twice with a rollback in between
+    // and count invocations.
+    for (const auto kind :
+         {SchedulerKind::TimingWheel, SchedulerKind::ReferenceHeap}) {
+        SCOPED_TRACE(schedulerKindName(kind));
+        EventQueue q(kind);
+        int invoked = 0;
+        int released = 0;
+        struct Probe final : Event
+        {
+            int *invoked = nullptr;
+            int *released = nullptr;
+            void process() override { ++*invoked; }
+            void release() override
+            {
+                ++*released;
+                delete this;
+            }
+        };
+        auto *p = new Probe;
+        p->invoked = &invoked;
+        p->released = &released;
+        q.scheduleEvent(p, 40);
+        q.specCheckpoint();
+        q.run(100);
+        EXPECT_EQ(invoked, 1);
+        EXPECT_EQ(released, 0);
+        q.specRollback(0);
+        EXPECT_EQ(released, 0);
+        q.specCommit();
+        q.specCheckpoint();
+        q.run(100);
+        q.specCommit();
+        EXPECT_EQ(invoked, 2);
+        EXPECT_EQ(released, 1);
+    }
+}
+
+} // namespace
+} // namespace tokencmp
