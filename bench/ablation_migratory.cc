@@ -36,8 +36,10 @@ runWith(Protocol proto, bool migratory, const WorkloadFactory &factory,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    tokencmp::bench::cli(argc, argv,
+        "Ablation A1: the migratory-sharing optimization on/off across protocol families.");
     JsonReport report("ablation_migratory");
     banner("Ablation: migratory-sharing optimization on/off",
            "read-modify-write sharing (OLTP-like) slows "

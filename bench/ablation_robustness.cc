@@ -41,8 +41,10 @@ runCfg(const SystemConfig &cfg, unsigned locks,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    tokencmp::bench::cli(argc, argv,
+        "Ablation A2: Section 3.2 robustness mechanisms under high-contention locking.");
     JsonReport report("ablation_robustness");
     banner("Ablation: robustness knobs (locking @2 and @64 locks, "
            "runtime in ns)",

@@ -21,6 +21,74 @@
 
 namespace tokencmp::bench {
 
+/** One environment variable a bench target honors. This table is the
+ *  single source of truth for every harness's --help text (and the
+ *  table in docs/sweeps.md mirrors it). */
+struct EnvKnob
+{
+    const char *name;
+    const char *what;
+};
+
+inline const std::vector<EnvKnob> &
+envKnobs()
+{
+    static const std::vector<EnvKnob> knobs = {
+        {"TOKENCMP_SEEDS",
+         "seeds per data point (default 3; CI baselines use 2)"},
+        {"TOKENCMP_PARALLEL",
+         "worker threads per experiment (default: hardware threads)"},
+        {"TOKENCMP_ENFORCE_SHARDED_GATE",
+         "set: enforce the 4-worker sharded speedup gate even on "
+         "hosts with < 4 hardware threads (sharded_throughput)"},
+        {"TOKENCMP_ENFORCE_SPEC_GATE",
+         "set: enforce the optimistic-speculation speedup gate even "
+         "on small hosts (sharded_throughput)"},
+        {"TOKENCMP_ENFORCE_SUBCMP_GATE",
+         "set: enforce the 8-worker sub-CMP scaling gate even on "
+         "hosts with < 8 hardware threads (sharded_throughput)"},
+    };
+    return knobs;
+}
+
+/**
+ * Uniform bench CLI: every harness calls this first. The targets are
+ * configured by environment, not flags, so the only options are
+ * --help/-h (print what the bench does, its output file, and the env
+ * knob table, then exit 0); anything else is an error. `what` is the
+ * one-line purpose shown in the help text.
+ */
+inline void
+cli(int argc, char **argv, const char *what)
+{
+    auto usage = [&](std::FILE *to) {
+        std::fprintf(to, "usage: %s [--help]\n\n%s\n\n", argv[0],
+                     what);
+        std::fprintf(
+            to,
+            "Writes a machine-readable BENCH_<name>.json next to the\n"
+            "stdout tables (bench/check_regression.py consumes it).\n"
+            "Configuration is by environment variable:\n\n");
+        for (const EnvKnob &k : envKnobs())
+            std::fprintf(to, "  %-30s %s\n", k.name, k.what);
+        std::fprintf(to,
+                     "\nGrid sweeps over policies / workloads / knob "
+                     "overrides live in\nthe `sweep` tool instead "
+                     "(tools/sweep.cc, docs/sweeps.md).\n");
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage(stdout);
+            std::exit(0);
+        }
+        std::fprintf(stderr, "%s: unknown option %s\n\n", argv[0],
+                     a.c_str());
+        usage(stderr);
+        std::exit(1);
+    }
+}
+
 /** Seeds per data point (Alameldeen-style error bars). */
 inline unsigned
 seedsPerPoint()

@@ -164,6 +164,93 @@ def compare(name, baseline_dir, current_dir, tolerance,
     return result
 
 
+def compare_sweep(name, baseline_dir, current_dir, tolerance):
+    """Gate one SWEEP_<name>.json merged sweep report.
+
+    Sweep marginals are simulation statistics over fixed seeds —
+    deterministic on any runner class — so every marginal mean gates,
+    in both directions (these are correctness-ish counts, not
+    wall-clock). The baseline only applies when its grid fingerprint
+    matches the current report's: an intentionally edited grid warns
+    and skips (refresh the baseline with the new report), it does not
+    brick the gate.
+    """
+    base_path = os.path.join(baseline_dir, name + ".json")
+    cur_path = os.path.join(current_dir, "SWEEP_" + name + ".json")
+    result = {"bench": "sweep:" + name, "cells": [], "failures": [],
+              "warnings": []}
+
+    if not os.path.exists(base_path):
+        result["failures"].append(f"missing sweep baseline: "
+                                  f"{base_path}")
+        return result
+    if not os.path.exists(cur_path):
+        result["failures"].append(f"missing sweep report: {cur_path}")
+        return result
+
+    with open(base_path) as f:
+        base = json.load(f)
+    with open(cur_path) as f:
+        cur = json.load(f)
+
+    for key in ("sweep", "fingerprint", "cellsTotal", "cellsDone",
+                "marginals"):
+        if key not in cur:
+            result["failures"].append(
+                f"sweep {name}: report lacks '{key}'")
+            return result
+    if cur["cellsDone"] != cur["cellsTotal"]:
+        result["failures"].append(
+            f"sweep {name}: incomplete report "
+            f"({cur['cellsDone']}/{cur['cellsTotal']} cells)")
+        return result
+
+    if base.get("fingerprint") != cur.get("fingerprint"):
+        result["warnings"].append(
+            f"sweep {name}: grid fingerprint changed "
+            f"({base.get('fingerprint')} -> {cur.get('fingerprint')});"
+            f" marginals skipped — refresh bench/baselines/"
+            f"{name}.json from the new report")
+        return result
+
+    for metric, axes in sorted(base.get("marginals", {}).items()):
+        cur_axes = cur["marginals"].get(metric, {})
+        for axis, table in sorted(axes.items()):
+            cur_table = cur_axes.get(axis, {})
+            for key, bcell in sorted(table.items()):
+                label = f"{metric}.{axis}.{key}"
+                entry = {"label": label, "metric": metric}
+                ccell = cur_table.get(key)
+                if ccell is None:
+                    entry["verdict"] = "missing"
+                    result["failures"].append(
+                        f"sweep {name}/{label}: present in baseline, "
+                        f"missing from report")
+                else:
+                    b, c = float(bcell["mean"]), float(ccell["mean"])
+                    entry["baseline"] = b
+                    entry["current"] = c
+                    entry["change"] = (c - b) / b if b else 0.0
+                    if b > 0 and abs(c - b) > b * tolerance:
+                        entry["verdict"] = "regressed"
+                        result["failures"].append(
+                            f"sweep {name}/{label}: {c:.6g} drifted "
+                            f"{entry['change']:+.1%} from baseline "
+                            f"{b:.6g} (tolerance "
+                            f"{tolerance * 100:.0f}%)")
+                    else:
+                        entry["verdict"] = "ok"
+                result["cells"].append(entry)
+
+    changes = [e["change"] for e in result["cells"] if "change" in e]
+    if changes:
+        result["summary"] = {
+            "gatedCells": len(changes),
+            "meanChange": sum(changes) / len(changes),
+        }
+    return result
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline-dir", default="bench/baselines")
@@ -175,15 +262,23 @@ def main():
                         "TOKENCMP_BENCH_TOLERANCE", "0.15")),
                     help="allowed fractional drift: events/sec drop "
                          "or msgs/miss rise (default 0.15)")
-    ap.add_argument("--benches", nargs="+",
+    ap.add_argument("--benches", nargs="*",
                     default=["kernel_throughput", "sharded_throughput",
-                             "fig7_traffic", "workload_sweep"])
+                             "fig7_traffic", "workload_sweep"],
+                    help="bench records to gate; pass with no names "
+                         "to gate only --sweeps")
     ap.add_argument("--allow-missing", nargs="*", default=
                     ["workload_sweep"], metavar="BENCH",
                     help="benches whose baseline-only labels warn and "
                          "skip instead of failing (default: "
                          "workload_sweep, whose cell set grows with "
                          "the workload registry)")
+    ap.add_argument("--sweeps", nargs="*", default=[],
+                    metavar="SWEEP",
+                    help="merged sweep reports to gate: for each NAME "
+                         "compare <current-dir>/SWEEP_NAME.json "
+                         "marginals against bench/baselines/NAME.json "
+                         "(fingerprint-matched)")
     args = ap.parse_args()
 
     diff = {"tolerance": args.tolerance, "benches": [], "ok": True}
@@ -193,6 +288,12 @@ def main():
         result = compare(name, args.baseline_dir, args.current_dir,
                          args.tolerance,
                          allow_missing=name in args.allow_missing)
+        diff["benches"].append(result)
+        failures.extend(result["failures"])
+        warnings.extend(result["warnings"])
+    for name in args.sweeps:
+        result = compare_sweep(name, args.baseline_dir,
+                               args.current_dir, args.tolerance)
         diff["benches"].append(result)
         failures.extend(result["failures"])
         warnings.extend(result["warnings"])

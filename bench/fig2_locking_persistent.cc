@@ -19,8 +19,10 @@ using namespace tokencmp;
 using namespace tokencmp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tokencmp::bench::cli(argc, argv,
+        "Figure 2 reproduction: locking micro-benchmark, persistent-request-only policies.");
     JsonReport report("fig2_locking_persistent");
     banner("Figure 2: locking micro-benchmark, persistent requests "
            "only",

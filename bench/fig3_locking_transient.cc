@@ -20,8 +20,10 @@ using namespace tokencmp;
 using namespace tokencmp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tokencmp::bench::cli(argc, argv,
+        "Figure 3 reproduction: locking micro-benchmark, transient + persistent requests.");
     JsonReport report("fig3_locking_transient");
     banner("Figure 3: locking micro-benchmark, transient + persistent "
            "requests",

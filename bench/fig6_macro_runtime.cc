@@ -17,8 +17,10 @@ using namespace tokencmp;
 using namespace tokencmp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tokencmp::bench::cli(argc, argv,
+        "Figure 6 reproduction: commercial-workload runtime normalized to DirectoryCMP.");
     JsonReport report("fig6_macro_runtime");
     banner("Figure 6: commercial workload runtime "
            "(normalized to DirectoryCMP)",

@@ -153,8 +153,10 @@ policySweep(JsonReport &report)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    tokencmp::bench::cli(argc, argv,
+        "Figure 7 reproduction: interconnect traffic by message class, inter- and intra-CMP.");
     JsonReport report("fig7_traffic");
     banner("Figure 7: traffic by message class (a: inter-CMP, "
            "b: intra-CMP)",

@@ -203,8 +203,10 @@ systemThroughput(bench::JsonReport &report, bool batching,
 } // namespace tokencmp
 
 int
-main()
+main(int argc, char **argv)
 {
+    tokencmp::bench::cli(argc, argv,
+        "Event-kernel throughput: the perf-trajectory datapoint for the serial simulation core.");
     using namespace tokencmp;
 
     bench::banner("kernel throughput",

@@ -337,8 +337,10 @@ specThroughput(const std::string &label, SpeculationMode mode,
 } // namespace tokencmp
 
 int
-main()
+main(int argc, char **argv)
 {
+    tokencmp::bench::cli(argc, argv,
+        "Sharded-kernel throughput and speedup gates for the parallel simulation core.");
     using namespace tokencmp;
 
     bench::banner("sharded kernel throughput",

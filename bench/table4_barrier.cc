@@ -17,8 +17,10 @@ using namespace tokencmp;
 using namespace tokencmp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    tokencmp::bench::cli(argc, argv,
+        "Table 4 reproduction: barrier micro-benchmark runtime across all eight protocols.");
     JsonReport report("table4_barrier");
     banner("Table 4: barrier micro-benchmark runtime "
            "(normalized to DirectoryCMP)",

@@ -63,8 +63,10 @@ report(const char *label, const CheckResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    tokencmp::bench::cli(argc, argv,
+        "Section 5 reproduction: model-checking token substrate vs flat directory.");
     JsonReport json("table5_modelcheck");
     std::printf("\n=== Section 5: model-checking complexity ===\n");
     std::printf("paper expectation: token substrate ~ flat directory; "

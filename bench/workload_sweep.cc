@@ -99,8 +99,10 @@ record(JsonReport &report, const std::string &wname,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    tokencmp::bench::cli(argc, argv,
+        "Workload characterization sweep: protocol x policy x workload generators.");
     JsonReport report("workload_sweep");
     banner("Workload sweep: protocol x policy x workload",
            "adaptive destination sets (dst-owner / bw-adapt) beat "

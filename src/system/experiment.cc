@@ -9,6 +9,7 @@
 
 #include "core/policy.hh"
 #include "sim/logging.hh"
+#include "system/knobs.hh"
 #include "workload/workload_registry.hh"
 
 namespace tokencmp {
@@ -73,6 +74,8 @@ ExperimentResult::toJson(const std::string &label) const
     if (!label.empty())
         out += "\"label\": " + json::quote(label) + ", ";
     out += "\"protocol\": " + json::quote(protocol) + ", ";
+    if (!knobHash.empty())
+        out += "\"knobHash\": " + json::quote(knobHash) + ", ";
     out += "\"workload\": " + json::quote(workload) + ", ";
     out += "\"seeds\": " + std::to_string(seedsRequested) + ", ";
     out += "\"seedsCompleted\": " + std::to_string(runtime.count()) +
@@ -296,6 +299,9 @@ ExperimentRunner::run() const
     // which order the workers finished.
     ExperimentResult exp;
     exp.protocol = base.displayName();
+    exp.knobHash = knobOverrideHash(base);
+    if (!exp.knobHash.empty())
+        exp.protocol += "@" + exp.knobHash;
     exp.workload = workload_name;
     exp.seedsRequested = n;
     for (unsigned i = 0; i < n; ++i) {

@@ -57,7 +57,12 @@ struct SeedProgress
 /** Aggregated multi-seed experiment results (mean +/- 95% CI). */
 struct ExperimentResult
 {
-    std::string protocol;  //!< protocolName() of the configuration
+    /** displayName() of the configuration, suffixed with "@<hash>"
+     *  when any tuning knob differs from its default (see
+     *  system/knobs.hh) — two runs of the same policy under
+     *  different knob overrides must not collide in reports. */
+    std::string protocol;
+    std::string knobHash;  //!< knobOverrideHash(); "" at defaults
     std::string workload;  //!< Workload::name() of the runs
     unsigned seedsRequested = 0;  //!< batch size (>= completed count)
 

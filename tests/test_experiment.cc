@@ -244,6 +244,30 @@ TEST(ExperimentResult, JsonExportIsWellFormed)
     EXPECT_EQ(depth, 0);
 }
 
+TEST(ExperimentResult, KnobOverridesDisambiguateProtocolLabels)
+{
+    // Two runs of the same policy under different tuning knobs used
+    // to produce colliding labels; the knob-override hash suffix
+    // keeps them distinct (and default-knob labels unchanged, so
+    // existing baselines still match).
+    SystemConfig cfg;
+    cfg.protocol = Protocol::TokenDst1;
+    auto plain = Experiment::of(cfg)
+                     .workload(smallLockingFactory())
+                     .run();
+    EXPECT_EQ(plain.protocol, "TokenCMP-dst1");
+    EXPECT_EQ(plain.knobHash, "");
+
+    cfg.token.cmpPredEntries = 64;
+    auto tuned = Experiment::of(cfg)
+                     .workload(smallLockingFactory())
+                     .run();
+    EXPECT_EQ(tuned.knobHash.size(), 8u);
+    EXPECT_EQ(tuned.protocol, "TokenCMP-dst1@" + tuned.knobHash);
+    EXPECT_NE(tuned.toJson().find("\"knobHash\": \"" + tuned.knobHash),
+              std::string::npos);
+}
+
 TEST(ExperimentRunner, IncompleteSeedsAreReported)
 {
     SystemConfig cfg;

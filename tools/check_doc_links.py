@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Dead-link checker for the repo's Markdown tree (CI docs job).
+
+Scans every committed .md file for Markdown links and inline
+`path`-style references to docs, and fails (exit 1) when a relative
+link's target does not exist. External links (http/https/mailto) are
+not fetched — this guards the docs/ split, where a renamed or
+forgotten file turns a README pointer into a 404 nobody notices.
+
+Link forms checked:
+  [text](relative/path.md)        resolved against the linking file
+  [text](relative/path.md#frag)   fragment stripped, file must exist
+  [text](/abs/from/repo/root.md)  resolved against the repo root
+
+Usage:
+  python3 tools/check_doc_links.py [--root .] [files...]
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files(root):
+    """Committed .md files (git ls-files keeps build trees out)."""
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "*.md", "**/*.md"], cwd=root,
+            capture_output=True, text=True, check=True).stdout
+        files = [line for line in out.splitlines() if line]
+        if files:
+            return files
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        pass
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in {".git", "build", ".cache"}]
+        for name in filenames:
+            if name.endswith(".md"):
+                found.append(os.path.relpath(
+                    os.path.join(dirpath, name), root))
+    return found
+
+
+def check_file(root, relpath):
+    failures = []
+    path = os.path.join(root, relpath)
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+
+    # Strip fenced code blocks: shell snippets legitimately contain
+    # bracket-paren sequences that are not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+
+    for lineno_text in LINK_RE.finditer(text):
+        target = lineno_text.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue  # pure in-page anchor
+        if target.startswith("/"):
+            resolved = os.path.join(root, target.lstrip("/"))
+        else:
+            resolved = os.path.join(os.path.dirname(path), target)
+        if not os.path.exists(resolved):
+            failures.append(f"{relpath}: dead link -> {target}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".")
+    ap.add_argument("files", nargs="*",
+                    help="specific .md files (default: all committed)")
+    args = ap.parse_args()
+
+    files = args.files or markdown_files(args.root)
+    failures = []
+    for relpath in sorted(files):
+        failures.extend(check_file(args.root, relpath))
+
+    if failures:
+        print("Dead documentation links:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"docs link check passed ({len(files)} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
