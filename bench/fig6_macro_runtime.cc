@@ -34,7 +34,7 @@ main(int argc, char **argv)
         Protocol::DirectoryCMP,  Protocol::DirectoryCMPZero,
         Protocol::TokenDst4,     Protocol::TokenDst1,
         Protocol::TokenDst1Pred, Protocol::TokenDst1Filt,
-        Protocol::PerfectL2};
+        Protocol::HierCMP,       Protocol::PerfectL2};
 
     for (const SyntheticParams &wl : workloads) {
         auto factory = [&wl]() -> std::unique_ptr<Workload> {
@@ -68,6 +68,18 @@ main(int argc, char **argv)
             printRow(protocolName(proto),
                      {rt / base_rt, speedup, persist_pct},
                      {e.runtime.errorBar() / base_rt, 0.0, 0.0});
+            // The CI-gated row: simulated runtime over fixed seeds is
+            // exactly reproducible on any runner, so a drift means
+            // the protocol's behavior actually changed.
+            report.addRaw(
+                "{\"label\": " +
+                json::quote("macro/" + wl.label + "/" +
+                            protocolName(proto)) +
+                ", \"runtimeNs\": " +
+                json::number(rt / double(ticksPerNs)) +
+                ", \"normRuntime\": " + json::number(rt / base_rt) +
+                ", \"persistPct\": " + json::number(persist_pct) +
+                "}");
         }
     }
     return 0;

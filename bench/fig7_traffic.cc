@@ -13,6 +13,8 @@
  * L2. The dst1-filt filter trims intra-CMP traffic by a few percent.
  */
 
+#include <algorithm>
+
 #include "bench_util.hh"
 #include "core/policy.hh"
 #include "workload/synthetic.hh"
@@ -95,6 +97,8 @@ policySweep(JsonReport &report)
                 "msgs/miss", "interB/miss", "intraB/miss",
                 "runtime(ns)", "narrowed");
     double dst1_inter = 0.0, dst1_rt = 0.0;
+    double dst4_inter = 0.0;
+    double group_inter = 0.0, group_narrowed = 0.0;
     double bw_inter = 0.0, bw_rt = 0.0, bw_narrowed = 0.0;
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const ExperimentResult &e = cells[i];
@@ -118,6 +122,11 @@ policySweep(JsonReport &report)
         if (names[i] == "dst1") {
             dst1_inter = inter;
             dst1_rt = rt;
+        } else if (names[i] == "dst4") {
+            dst4_inter = inter;
+        } else if (names[i] == "dst-group") {
+            group_inter = inter;
+            group_narrowed = narrowed;
         } else if (names[i] == "bw-adapt") {
             bw_inter = inter;
             bw_rt = rt;
@@ -147,7 +156,20 @@ policySweep(JsonReport &report)
                 "-> %s\n",
                 bw_inter, dst1_inter, bw_rt, dst1_rt, bw_narrowed,
                 ok ? "PASS" : "FAIL");
-    return ok;
+
+    // Group multicast is the middle fan-out: its inter-CMP bytes per
+    // miss must land strictly between the narrow and broadcast
+    // endpoints of the same retry budget (dst1 and dst4 brackets),
+    // and the group path must actually have fired.
+    const double lo = std::min(dst1_inter, dst4_inter);
+    const double hi = std::max(dst1_inter, dst4_inter);
+    const bool group_ok = group_inter > lo && group_inter < hi &&
+                          group_narrowed > 0.0;
+    std::printf("dst-group between brackets: %.1f in (%.1f, %.1f) "
+                "inter bytes/miss, %.0f grouped escalations -> %s\n",
+                group_inter, lo, hi, group_narrowed,
+                group_ok ? "PASS" : "FAIL");
+    return ok && group_ok;
 }
 
 } // namespace
@@ -168,7 +190,7 @@ main(int argc, char **argv)
     const std::vector<Protocol> protos = {
         Protocol::DirectoryCMP,  Protocol::TokenDst4,
         Protocol::TokenDst1,     Protocol::TokenDst1Pred,
-        Protocol::TokenDst1Filt};
+        Protocol::TokenDst1Filt, Protocol::HierCMP};
 
     const std::vector<SyntheticParams> workloads = {
         oltpParams(), apacheParams(), jbbParams()};

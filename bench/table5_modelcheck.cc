@@ -24,6 +24,7 @@
 #include "bench_util.hh"
 #include "mc/checker.hh"
 #include "mc/dir_model.hh"
+#include "mc/hier_model.hh"
 #include "mc/token_model.hh"
 
 using namespace tokencmp::mc;
@@ -93,6 +94,13 @@ main(int argc, char **argv)
         cfg.caches = 2;
         report("Flat-DirectoryCMP", chk.run(DirModel(cfg)));
     }
+    {
+        // The hierarchical composition: the two-level product of the
+        // inter-CMP directory and the per-CMP token spaces, including
+        // the anchor invariant the HierShim maintains.
+        HierModelConfig cfg;
+        report("HierCMP-2level", chk.run(HierModel(cfg)));
+    }
 
     std::printf("\nlarger configurations (3 caches; the persistent-"
                 "request variants exceed tractable bounds here,\n"
@@ -146,6 +154,17 @@ main(int argc, char **argv)
         cfg.caches = 3;
         cfg.bugForgetInv = true;
         report("bug:forget-invalidate", chk.run(DirModel(cfg)));
+    }
+    {
+        HierModelConfig cfg;
+        cfg.bugServeOwnerAtS = true;
+        report("bug:serve-owner-at-S", chk.run(HierModel(cfg)));
+        cfg.bugServeOwnerAtS = false;
+        cfg.bugAckInvNoRecall = true;
+        report("bug:ack-inv-no-recall", chk.run(HierModel(cfg)));
+        cfg.bugAckInvNoRecall = false;
+        cfg.bugSkipInvAck = true;
+        report("bug:skip-inv-ack", chk.run(HierModel(cfg)));
     }
     return 0;
 }

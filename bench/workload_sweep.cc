@@ -110,7 +110,8 @@ main(int argc, char **argv)
            "traffic; the gap narrows on mostly-private mixes");
 
     const std::vector<std::string> policies = {
-        "dst1", "dst4", "dst1-pred", "dst-owner", "bw-adapt"};
+        "dst1", "dst4", "dst1-pred", "dst-owner", "dst-group",
+        "bw-adapt"};
 
     bool gate_ok = false;
     bool gate_seen = false;
@@ -136,6 +137,24 @@ main(int argc, char **argv)
             return 1;
         }
         record(report, spec.name, dir_cell);
+
+        // The hierarchical family: directory between CMPs, tokens
+        // within — the protocol axis the policy sweep can't reach.
+        SystemConfig hier_cfg;
+        hier_cfg.protocol = Protocol::HierCMP;
+        hier_cfg.workloadName = spec.name;
+        hier_cfg.workloadParams = spec.knobs;
+        const ExperimentResult hier_cell =
+            Experiment::of(hier_cfg)
+                .seeds(seedsPerPoint())
+                .parallelism(defaultParallelism())
+                .run();
+        if (!hier_cell.allCompleted) {
+            std::fprintf(stderr, "FAILED: HierCMP on %s\n",
+                         spec.name);
+            return 1;
+        }
+        record(report, spec.name, hier_cell);
 
         // The token policy sweep, through the workloads() axis.
         SystemConfig cfg;

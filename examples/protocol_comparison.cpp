@@ -38,7 +38,12 @@ class FavoritePolicy final : public PerformancePolicy
   public:
     using PerformancePolicy::PerformancePolicy;
     const char *name() const override { return "example-favorite"; }
-    unsigned maxTransients() const override { return 4; }
+    unsigned
+    maxTransients(bool is_write) const override
+    {
+        (void)is_write;
+        return 4;
+    }
 };
 
 const PolicyRegistrar regFavorite(

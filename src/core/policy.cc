@@ -152,7 +152,12 @@ class Table1Policy final : public PerformancePolicy
 
     const char *name() const override { return _name; }
 
-    unsigned maxTransients() const override { return _row.maxTransients; }
+    unsigned
+    maxTransients(bool is_write) const override
+    {
+        (void)is_write;
+        return _row.maxTransients;
+    }
 
     PersistentActivation
     activation() const override

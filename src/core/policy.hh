@@ -102,8 +102,16 @@ class PerformancePolicy
     // -- Substrate knobs ---------------------------------------------
 
     /** Transient attempts before escalating to a persistent request
-     *  (0 = immediately persistent). */
-    virtual unsigned maxTransients() const { return 1; }
+     *  (0 = immediately persistent). Policies may budget reads and
+     *  writes differently: a write must collect *every* token, so one
+     *  unanswered broadcast is much stronger contention evidence than
+     *  an unanswered read. */
+    virtual unsigned
+    maxTransients(bool is_write) const
+    {
+        (void)is_write;
+        return 1;
+    }
 
     /** Persistent-request activation mechanism (Section 3.2). */
     virtual PersistentActivation
@@ -185,6 +193,24 @@ class PerformancePolicy
         (void)addr;
         (void)requestor;
         (void)is_write;
+    }
+
+    /**
+     * A fresh persistent-request activation from another chip was
+     * installed in this controller's table — `requestor` is about to
+     * drain the block's tokens (all of them for a write). This is the
+     * strongest owner-prediction signal there is, and one the
+     * transient hook above never sees when the requester's own
+     * narrowed retries went unanswered and it escalated straight to a
+     * persistent request.
+     */
+    virtual void
+    onPersistentActivate(Addr addr, const MachineID &requestor,
+                         bool is_read)
+    {
+        (void)addr;
+        (void)requestor;
+        (void)is_read;
     }
 
     /** This controller absorbed a token-carrying message that `from`

@@ -11,6 +11,12 @@
  *    full broadcast; writes — which must assemble *all* tokens, so any
  *    unreached holder forces a timeout — and retries always broadcast.
  *
+ *  - "dst-group": group multicast. A per-block mask of CMPs recently
+ *    seen acquiring the block; confident read escalations multicast
+ *    to the group — fan-out between dst-owner's unicast and the full
+ *    broadcast, trading a little latency robustness (any group member
+ *    can answer) for most of the bandwidth saving.
+ *
  *  - "bw-adapt": bandwidth-adaptive multicast. The same predictor,
  *    but narrowing is additionally gated on the observed utilization
  *    of this CMP's outbound inter-CMP channels (per-link occupancy
@@ -136,7 +142,12 @@ class DestSetPolicy : public PerformancePolicy
     /** One (possibly) narrow attempt, then broadcast retries with
      *  dst4's budget — mispredictions degrade to dst4, not to an
      *  immediate persistent-request storm. */
-    unsigned maxTransients() const override { return 4; }
+    unsigned
+    maxTransients(bool is_write) const override
+    {
+        (void)is_write;
+        return 4;
+    }
 
     void
     onExternalRequest(Addr addr, const MachineID &requestor,
@@ -149,10 +160,27 @@ class DestSetPolicy : public PerformancePolicy
     }
 
     void
+    onPersistentActivate(Addr addr, const MachineID &requestor,
+                         bool is_read) override
+    {
+        // A persistent write drains every token to the requester; a
+        // persistent read leaves it a holder. Same strengths as the
+        // transient signal, but this one still fires when narrowed
+        // retries went unanswered and no transient ever got through.
+        if (_pred != nullptr) {
+            _pred->observe(addr, requestor.cmp, is_read ? 1 : 2,
+                           env.ctx->now());
+            ++_persistTrainings;
+        }
+    }
+
+    void
     exportStats(StatSet &out) const override
     {
         out.add("policy.narrowedEscalations", double(stats.narrowed));
         out.add("policy.broadcastEscalations", double(stats.broadcasts));
+        out.add("policy.persistentTrainings",
+                double(_persistTrainings));
     }
 
     void
@@ -161,6 +189,7 @@ class DestSetPolicy : public PerformancePolicy
         PerformancePolicy::specCapture(b);
         if (_pred != nullptr)
             _pred->specCapture(b);
+        b(_persistTrainings);
     }
 
   protected:
@@ -201,6 +230,7 @@ class DestSetPolicy : public PerformancePolicy
     }
 
     std::unique_ptr<CmpPredictor> _pred;
+    std::uint64_t _persistTrainings = 0;
 };
 
 /** "dst-owner": always narrow confident read escalations. */
@@ -325,8 +355,150 @@ class BandwidthAdaptivePolicy final : public DestSetPolicy
     double _util = 0.0;
 };
 
+/**
+ * "dst-group": multicast read escalations to the predicted *sharer
+ * group* — every CMP recently seen acquiring the block — the middle
+ * ground between dst-owner's unicast and the full broadcast. A write
+ * observation collapses the group to the writer (it just stripped
+ * every other chip's tokens); reads accumulate. Writes and late
+ * retries still broadcast: a write must assemble all T tokens, so any
+ * unreached holder would force a timeout.
+ */
+class GroupMulticastPolicy final : public DestSetPolicy
+{
+  public:
+    explicit GroupMulticastPolicy(const PolicyEnv &env)
+        : DestSetPolicy(env)
+    {
+        if (env.self.type == MachineType::L2Bank) {
+            _groups = std::make_unique<Table>(
+                "GroupPredictor",
+                env.params != nullptr ? env.params->cmpPredEntries
+                                      : 512,
+                env.params != nullptr ? env.params->cmpPredWays : 4);
+        }
+    }
+
+    const char *name() const override { return "dst-group"; }
+
+    /** Reads get the group multicast plus one full-broadcast retry
+     *  before the persistent fallback; writes — whose broadcasts must
+     *  reach *every* token holder, so a single unanswered attempt
+     *  already signals contention — give up after one, like dst1.
+     *  This read/write split is what places the policy's traffic
+     *  between the dst4 and dst1 endpoints: patient narrow reads save
+     *  request bytes vs dst4, impatient writes pay some of dst1's
+     *  persistent-broadcast cost. */
+    unsigned
+    maxTransients(bool is_write) const override
+    {
+        return is_write ? 1 : 2;
+    }
+
+    void
+    onExternalRequest(Addr addr, const MachineID &requestor,
+                      bool is_write) override
+    {
+        DestSetPolicy::onExternalRequest(addr, requestor, is_write);
+        observeGroup(addr, requestor.cmp, is_write);
+    }
+
+    void
+    onPersistentActivate(Addr addr, const MachineID &requestor,
+                         bool is_read) override
+    {
+        DestSetPolicy::onPersistentActivate(addr, requestor, is_read);
+        observeGroup(addr, requestor.cmp, !is_read);
+    }
+
+    void
+    destinationSet(Addr addr, DestKind kind, bool is_write,
+                   unsigned attempt, std::vector<MachineID> &out) override
+    {
+        if (kind != DestKind::L2Escalate) {
+            broadcastSet(addr, kind, out);
+            return;
+        }
+        const std::uint8_t mask = freshGroup(addr);
+        if (is_write || attempt > 1 || mask == 0) {
+            ++stats.broadcasts;
+            broadcastSet(addr, kind, out);
+            return;
+        }
+        ++stats.narrowed;
+        // The group members' responsible banks only: a pure bet on
+        // cache-to-cache supply from the sharing group. Unlike the
+        // unicast predictor's narrowed set, the home path is *not*
+        // added — when the only copy sits at home memory the multicast
+        // goes unanswered and the broadcast retry pays a timeout,
+        // which is the bandwidth/latency trade that places this
+        // policy's traffic between dst4 and dst1.
+        for (unsigned c = 0; c < env.topo.numCmps; ++c) {
+            if (c == env.self.cmp || (mask & (1u << c)) == 0)
+                continue;
+            out.push_back(env.topo.l2BankFor(c, addr));
+        }
+        if (env.topo.homeCmpOf(addr) == env.self.cmp)
+            out.push_back(env.topo.homeOf(addr));
+    }
+
+    void
+    specCapture(SnapshotBuilder &b) override
+    {
+        DestSetPolicy::specCapture(b);
+        if (_groups != nullptr)
+            _groups->specCapture(b);
+    }
+
+  private:
+    struct Group
+    {
+        std::uint8_t mask = 0;  //!< CMPs recently acquiring the block
+        Tick seen = 0;          //!< tick of the last observation
+    };
+    using Table = SetAssocTable<Group>;
+
+    void
+    observeGroup(Addr addr, unsigned cmp, bool exclusive)
+    {
+        if (_groups == nullptr)
+            return;
+        Table::Entry *e = _groups->find(addr);
+        if (e == nullptr) {
+            e = _groups->allocate(addr);
+            e->data = Group{};
+        }
+        if (exclusive)
+            e->data.mask = std::uint8_t(1u << cmp);
+        else
+            e->data.mask |= std::uint8_t(1u << cmp);
+        _groups->touch(*e);
+        e->data.seen = env.ctx->now();
+    }
+
+    /** The group mask, or 0 when absent/stale (same freshness gate as
+     *  the unicast predictor). */
+    std::uint8_t
+    freshGroup(Addr addr) const
+    {
+        if (_groups == nullptr)
+            return 0;
+        const Table::Entry *e = _groups->find(addr);
+        if (e == nullptr || env.ctx->now() - e->data.seen > kMaxAge)
+            return 0;
+        return std::uint8_t(e->data.mask &
+                            ~std::uint8_t(1u << env.self.cmp));
+    }
+
+    std::unique_ptr<Table> _groups;
+};
+
 const PolicyRegistrar regOwner("dst-owner", [](const PolicyEnv &env) {
     return std::make_unique<OwnerGroupPolicy>(env);
+});
+
+const PolicyRegistrar regGroup("dst-group", [](const PolicyEnv &env) {
+    return std::make_unique<GroupMulticastPolicy>(env);
 });
 
 const PolicyRegistrar regBwAdapt("bw-adapt", [](const PolicyEnv &env) {

@@ -146,6 +146,18 @@ dst1Filt()
     return {1, PersistentActivation::Distributed, false, true};
 }
 
+/**
+ * Intra-CMP policy of the hierarchical (directory-between-CMPs)
+ * family: retried transient broadcasts inside the CMP, arbiter-based
+ * persistent activation at the local shim (the arbiter machine is
+ * per-CMP, selected by TokenL1::arbiterOf).
+ */
+inline TokenPolicy
+hier()
+{
+    return {4, PersistentActivation::Arbiter, false, false};
+}
+
 } // namespace token_variants
 
 } // namespace tokencmp

@@ -88,7 +88,7 @@ TokenL1::startMiss(const MemRequest &req)
     auto [it, ok] = _txns.emplace(addr, std::move(txn));
     (void)ok;
 
-    if (_policy->maxTransients() == 0) {
+    if (_policy->maxTransients(it->second.isWrite) == 0) {
         issuePersistent(addr, it->second);
         return;
     }
@@ -233,7 +233,7 @@ TokenL1::onTimeout(Addr addr, std::uint64_t gen)
     }
     Txn &txn = it->second;
     _policy->onRetry(addr, ctx.rng);
-    if (txn.attempts < _policy->maxTransients()) {
+    if (txn.attempts < _policy->maxTransients(txn.isWrite)) {
         ++txn.attempts;
         ++stats.retries;
         issueTransient(addr, txn);
@@ -271,7 +271,7 @@ TokenL1::issuePersistent(Addr addr, Txn &txn)
         m.prio = std::uint8_t(myProc());
         m.reqId = txn.prSeq;
         m.requestor = _id;
-        m.dst = ctx.topo.homeOf(addr);
+        m.dst = arbiterOf(addr);
         send(std::move(m), g.params.l1Latency);
         txn.activated = true;  // the arbiter handles activation
         return;
@@ -320,7 +320,7 @@ TokenL1::deactivatePersistent(Addr addr, Txn &txn)
         m.prio = std::uint8_t(myProc());
         m.reqId = txn.prSeq;
         m.requestor = _id;
-        m.dst = ctx.topo.homeOf(addr);
+        m.dst = arbiterOf(addr);
         send(std::move(m), g.params.l1Latency);
         return;
     }

@@ -77,7 +77,17 @@ class TokenL1 : public TokenController, public L1CacheIF
   protected:
     void onPersistentTableChange(Addr addr) override;
 
-  private:
+    /**
+     * Arbiter machine for a block under Arbiter activation. The flat
+     * protocol arbitrates at the home memory controller; hierarchical
+     * subclasses redirect to an intra-CMP arbiter (the local shim).
+     */
+    virtual MachineID
+    arbiterOf(Addr addr) const
+    {
+        return ctx.topo.homeOf(addr);
+    }
+
     using Array = CacheArray<TokenSt>;
     using Line = Array::Line;
 

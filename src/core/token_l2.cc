@@ -99,8 +99,19 @@ TokenL2::handleMsg(const Msg &msg)
         onWriteback(msg);
         return;
       case MsgType::PersistActivate:
-      case MsgType::PersistDeactivate:
       case MsgType::PersistArbActivate:
+        // Fresh activations (not stale or duplicate broadcasts) from
+        // remote chips train the destination-set predictors: the
+        // persistent requester is about to hold the block's tokens.
+        if (applyPersistMsg(msg)) {
+            if (msg.requestor.cmp != _id.cmp) {
+                _policy->onPersistentActivate(msg.addr, msg.requestor,
+                                              msg.isRead);
+            }
+            onPersistentTableChange(msg.addr);
+        }
+        return;
+      case MsgType::PersistDeactivate:
       case MsgType::PersistArbDeactivate:
         handlePersistTableMsg(msg);
         return;

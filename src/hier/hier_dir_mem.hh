@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Home memory controller for the hierarchical protocol family.
+ *
+ * The inter-CMP half of the hier family is the unmodified MOESI
+ * directory: each shim presents its whole CMP as one sharer/owner, so
+ * the home needs no new behavior at all — presence bits now mean
+ * "this CMP's shim holds intra-CMP tokens for the block". The subclass
+ * exists for type identity (construction keys, tests peeking directory
+ * state) and to keep the family self-contained in src/hier/.
+ */
+
+#ifndef TOKENCMP_HIER_HIER_DIR_MEM_HH
+#define TOKENCMP_HIER_HIER_DIR_MEM_HH
+
+#include "directory/dir_mem.hh"
+
+namespace tokencmp {
+
+/** Inter-CMP directory home for the hier family. */
+class HierDirMem : public DirMem
+{
+  public:
+    using DirMem::DirMem;
+};
+
+} // namespace tokencmp
+
+#endif // TOKENCMP_HIER_HIER_DIR_MEM_HH

@@ -1,0 +1,874 @@
+#include "mc/hier_model.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace tokencmp::mc {
+
+namespace {
+
+constexpr unsigned kMaxCmps = 2;
+constexpr unsigned kMaxCaches = 2;
+constexpr unsigned kMaxNet = 6;
+constexpr std::uint8_t kHome = 0xff;   //!< net dst code for the home
+constexpr std::uint8_t kNoAcks = 0xff; //!< acksNeeded "unknown"
+
+// Chip (inter-CMP) states as the home grants them.
+enum : std::uint8_t { kI = 0, kS = 1, kO = 2, kM = 3 };
+
+// Shim fetch / recall / stashed-external codes.
+enum : std::uint8_t { kFNone = 0, kFGetS = 1, kFGetX = 2 };
+enum : std::uint8_t { kRNone = 0, kRDown = 1, kRFull = 2 };
+enum : std::uint8_t { kENone = 0, kEInv = 1, kEFwdS = 2, kEFwdX = 3 };
+
+// Directory states at the home.
+enum : std::uint8_t { kDU = 0, kDS = 1, kDO = 2, kDM = 3 };
+
+// Inter-CMP message types.
+enum : std::uint8_t {
+    kGetS = 1, kGetX, kFwdGetS, kFwdGetX, kInv, kInvAck,
+    kData, kDataEx, kAckCount, kUnblock, kUnblockEx,
+};
+
+/** One-slot intra-CMP token channel (cache <-> shim, cache -> cache). */
+struct IntraSt
+{
+    std::uint8_t used = 0;
+    std::uint8_t toShim = 0;
+    std::uint8_t cache = 0;   //!< target cache when !toShim
+    std::uint8_t tokens = 0;
+    std::uint8_t owner = 0;
+    std::uint8_t hasData = 0;
+    std::uint8_t value = 0;
+};
+
+/** One inter-CMP message. */
+struct NetSt
+{
+    std::uint8_t used = 0;
+    std::uint8_t type = 0;
+    std::uint8_t dst = 0;    //!< cmp index or kHome
+    std::uint8_t from = 0;   //!< requestor / ack-collector cmp
+    std::uint8_t acks = 0;
+    std::uint8_t value = 0;
+
+    bool
+    operator<(const NetSt &o) const
+    {
+        return std::memcmp(this, &o, sizeof(NetSt)) < 0;
+    }
+};
+
+/** One CMP: its shim, its token caches, and the shim's transactions. */
+struct ChipSt
+{
+    std::uint8_t shimTok = 0;
+    std::uint8_t shimOwner = 0;
+    std::uint8_t shimValid = 0;
+    std::uint8_t shimValue = 0;
+    std::uint8_t chip = kI;
+
+    std::uint8_t cacheTok[kMaxCaches] = {};
+    std::uint8_t cacheOwner[kMaxCaches] = {};
+    std::uint8_t cacheValid[kMaxCaches] = {};
+    std::uint8_t cacheValue[kMaxCaches] = {};
+    std::uint8_t want[kMaxCaches] = {};    //!< 0 none, 1 rd, 2 wr
+    std::uint8_t issued[kMaxCaches] = {};
+
+    std::uint8_t fetch = kFNone;
+    std::uint8_t fetchHasData = 0;
+    std::uint8_t fetchValue = 0;
+    std::uint8_t fetchExcl = 0;
+    std::uint8_t acksNeeded = kNoAcks;
+    std::uint8_t acksGot = 0;
+
+    std::uint8_t recall = kRNone;
+    std::uint8_t ext = kENone;     //!< stashed external awaiting recall
+    std::uint8_t extAcks = 0;
+    std::uint8_t extFrom = 0;
+
+    IntraSt intra;
+};
+
+const char *
+chipName(std::uint8_t c)
+{
+    switch (c) {
+      case kI: return "I";
+      case kS: return "S";
+      case kO: return "O";
+      case kM: return "M";
+    }
+    return "?";
+}
+
+} // namespace
+
+/** The full packed state; POD so it can be memcpy-serialized. */
+struct HierModel::Packed
+{
+    ChipSt cmp[kMaxCmps];
+    NetSt net[kMaxNet];
+
+    std::uint8_t dirSt = kDU;
+    std::uint8_t presence = 0;    //!< sharer bitmask by cmp
+    std::uint8_t ownerCmp = 0xff;
+    std::uint8_t busy = 0;
+    std::uint8_t store = 0;
+    std::uint8_t globalValue = 0;
+
+    State
+    serialize() const
+    {
+        Packed copy = *this;
+        std::sort(copy.net, copy.net + kMaxNet);
+        State s(sizeof(Packed));
+        std::memcpy(s.data(), &copy, sizeof(Packed));
+        return s;
+    }
+
+    static Packed
+    parse(const State &s)
+    {
+        Packed p;
+        std::memcpy(&p, s.data(), sizeof(Packed));
+        return p;
+    }
+
+    unsigned
+    netFree() const
+    {
+        unsigned n = 0;
+        for (const NetSt &m : net)
+            n += !m.used;
+        return n;
+    }
+
+    void
+    send(std::uint8_t type, std::uint8_t dst, std::uint8_t from,
+         std::uint8_t acks = 0, std::uint8_t value = 0)
+    {
+        for (NetSt &m : net) {
+            if (m.used)
+                continue;
+            m = NetSt{1, type, dst, from, acks, value};
+            return;
+        }
+        fatal("HierModel: network slot overflow (caller must gate)");
+    }
+};
+
+HierModel::HierModel(const HierModelConfig &cfg) : _cfg(cfg)
+{
+    if (cfg.cmps > kMaxCmps || cfg.cmps < 2 ||
+        cfg.cachesPerCmp > kMaxCaches) {
+        fatal("HierModel: configuration exceeds packed limits");
+    }
+    if (cfg.totalTokens <= int(cfg.cachesPerCmp) ||
+        cfg.totalTokens > 255) {
+        fatal("HierModel: need #caches < T <= 255");
+    }
+    if (cfg.issueLimit == 0)
+        fatal("HierModel: issueLimit must be >= 1");
+}
+
+std::string
+HierModel::name() const
+{
+    return "HierCMP-2level";
+}
+
+std::vector<State>
+HierModel::initialStates() const
+{
+    Packed p;
+    for (unsigned x = 0; x < _cfg.cmps; ++x) {
+        // A chip starts with its whole private token space (and the
+        // intra-CMP owner token) parked at the shim, chip state I: no
+        // valid data until the directory grants some.
+        p.cmp[x].shimTok = std::uint8_t(_cfg.totalTokens);
+        p.cmp[x].shimOwner = 1;
+    }
+    return {p.serialize()};
+}
+
+void
+HierModel::successors(const State &s, std::vector<State> &out) const
+{
+    const Packed p0 = Packed::parse(s);
+    const unsigned NC = _cfg.cmps;
+    const unsigned NL = _cfg.cachesPerCmp;
+    const std::uint8_t T = std::uint8_t(_cfg.totalTokens);
+
+    auto emit = [&](const Packed &p) { out.push_back(p.serialize()); };
+
+    // Send an intra-CMP message (caller gates on the slot being free).
+    auto intraSend = [](ChipSt &ch, bool to_shim, unsigned cache,
+                        std::uint8_t tok, std::uint8_t own,
+                        std::uint8_t data, std::uint8_t val) {
+        ch.intra = IntraSt{1, std::uint8_t(to_shim), std::uint8_t(cache),
+                           tok, own, data, val};
+    };
+
+    for (unsigned x = 0; x < NC; ++x) {
+        const ChipSt &c0 = p0.cmp[x];
+
+        // -- Processors: issue and complete requests ------------------
+        for (unsigned c = 0; c < NL; ++c) {
+            if (c0.want[c] == 0 && c0.issued[c] < _cfg.issueLimit) {
+                for (std::uint8_t w : {std::uint8_t(1),
+                                       std::uint8_t(2)}) {
+                    Packed p = p0;
+                    p.cmp[x].want[c] = w;
+                    p.cmp[x].issued[c]++;
+                    emit(p);
+                }
+            }
+            // A read completes on any readable copy; the invariant
+            // separately checks that readable copies are current.
+            if (c0.want[c] == 1 && c0.cacheTok[c] > 0 &&
+                c0.cacheValid[c]) {
+                Packed p = p0;
+                p.cmp[x].want[c] = 0;
+                emit(p);
+            }
+            // A write needs the chip's entire token space at one
+            // cache. The anchor invariant makes this imply chip M.
+            if (c0.want[c] == 2 && c0.cacheTok[c] == T &&
+                c0.cacheValid[c]) {
+                Packed p = p0;
+                p.globalValue ^= 1;
+                p.cmp[x].want[c] = 0;
+                p.cmp[x].cacheValue[c] = p.globalValue;
+                emit(p);
+            }
+        }
+
+        // -- Shim: serve local requests from chip rights --------------
+        // (Mirrors HierShim::serveLocal; blocked while an external
+        // request or recall is in progress.)
+        if (!c0.intra.used && c0.recall == kRNone && c0.ext == kENone) {
+            for (unsigned c = 0; c < NL; ++c) {
+                if (c0.want[c] == 0)
+                    continue;
+                if (c0.chip == kM && c0.want[c] == 2 &&
+                    c0.shimTok > 0) {
+                    Packed p = p0;
+                    ChipSt &ch = p.cmp[x];
+                    intraSend(ch, false, c, ch.shimTok, ch.shimOwner,
+                              ch.shimOwner, ch.shimValue);
+                    ch.shimTok = 0;
+                    if (ch.shimOwner) {
+                        ch.shimOwner = 0;
+                        ch.shimValid = 0;
+                    }
+                    emit(p);
+                } else if (c0.chip == kM && c0.want[c] == 1 &&
+                           c0.shimOwner && c0.shimValid &&
+                           c0.shimTok > 0) {
+                    Packed p = p0;
+                    ChipSt &ch = p.cmp[x];
+                    const std::uint8_t k = ch.shimTok == T ? T : 1;
+                    const std::uint8_t ow = k == ch.shimTok;
+                    intraSend(ch, false, c, k, ow, 1, ch.shimValue);
+                    ch.shimTok -= k;
+                    if (ow) {
+                        ch.shimOwner = 0;
+                        ch.shimValid = 0;
+                    }
+                    emit(p);
+                } else if ((c0.chip == kS || c0.chip == kO) &&
+                           c0.want[c] == 1 && c0.shimTok >= 2 &&
+                           c0.shimValid) {
+                    // Chip-level rights are shared: hand out a spare
+                    // token with data, never the owner (anchor).
+                    Packed p = p0;
+                    ChipSt &ch = p.cmp[x];
+                    std::uint8_t ow = 0;
+                    if (_cfg.bugServeOwnerAtS) {
+                        ow = ch.shimOwner;
+                        ch.shimOwner = 0;
+                    }
+                    intraSend(ch, false, c, 1, ow, 1, ch.shimValue);
+                    ch.shimTok -= 1;
+                    emit(p);
+                } else if (c0.chip != kI && c0.want[c] == 1 &&
+                           c0.cacheTok[c] > 0 && !c0.cacheValid[c] &&
+                           c0.shimValid) {
+                    // Data-only top-up to a token holder: the shim's
+                    // persistent-read service when no spare token can
+                    // leave (HierShim's prServed path).
+                    Packed p = p0;
+                    ChipSt &ch = p.cmp[x];
+                    intraSend(ch, false, c, 0, 0, 1, ch.shimValue);
+                    emit(p);
+                }
+            }
+        }
+
+        // -- Caches: return idle tokens to the shim -------------------
+        if (!c0.intra.used) {
+            for (unsigned c = 0; c < NL; ++c) {
+                if (c0.cacheTok[c] == 0 || c0.want[c] != 0)
+                    continue;
+                Packed p = p0;
+                ChipSt &ch = p.cmp[x];
+                intraSend(ch, true, 0, ch.cacheTok[c], ch.cacheOwner[c],
+                          ch.cacheValid[c], ch.cacheValue[c]);
+                ch.cacheTok[c] = 0;
+                ch.cacheOwner[c] = 0;
+                ch.cacheValid[c] = 0;
+                emit(p);
+            }
+        }
+
+        // -- Caches: persistent-priority forwarding -------------------
+        // The lowest-indexed wanting cache is the persistent winner;
+        // lower-priority holders (wanting or not; idle holders use the
+        // dump above) forward everything to it, which is what breaks
+        // same-chip write-write ties in the real substrate.
+        if (!c0.intra.used) {
+            unsigned w = NL;
+            for (unsigned c = 0; c < NL; ++c) {
+                if (c0.want[c] != 0) {
+                    w = c;
+                    break;
+                }
+            }
+            for (unsigned c = w + 1; c < NL && w < NL; ++c) {
+                if (c0.want[c] == 0 || c0.cacheTok[c] == 0)
+                    continue;
+                Packed p = p0;
+                ChipSt &ch = p.cmp[x];
+                intraSend(ch, false, w, ch.cacheTok[c],
+                          ch.cacheOwner[c], ch.cacheValid[c],
+                          ch.cacheValue[c]);
+                ch.cacheTok[c] = 0;
+                ch.cacheOwner[c] = 0;
+                ch.cacheValid[c] = 0;
+                emit(p);
+            }
+        }
+
+        // -- Caches: answer an in-progress recall ---------------------
+        if (!c0.intra.used && c0.recall != kRNone) {
+            for (unsigned c = 0; c < NL; ++c) {
+                if (c0.recall == kRFull && c0.cacheTok[c] > 0) {
+                    Packed p = p0;
+                    ChipSt &ch = p.cmp[x];
+                    intraSend(ch, true, 0, ch.cacheTok[c],
+                              ch.cacheOwner[c], ch.cacheValid[c],
+                              ch.cacheValue[c]);
+                    ch.cacheTok[c] = 0;
+                    ch.cacheOwner[c] = 0;
+                    ch.cacheValid[c] = 0;
+                    emit(p);
+                } else if (c0.recall == kRDown && c0.cacheOwner[c]) {
+                    // Down recall: only the owner moves (one token,
+                    // ownership, data); the line stays readable.
+                    Packed p = p0;
+                    ChipSt &ch = p.cmp[x];
+                    intraSend(ch, true, 0, 1, 1, 1, ch.cacheValue[c]);
+                    ch.cacheTok[c] -= 1;
+                    ch.cacheOwner[c] = 0;
+                    if (ch.cacheTok[c] == 0)
+                        ch.cacheValid[c] = 0;
+                    emit(p);
+                }
+            }
+        }
+
+        // -- Intra-CMP delivery ---------------------------------------
+        if (c0.intra.used) {
+            Packed p = p0;
+            ChipSt &ch = p.cmp[x];
+            const IntraSt m = ch.intra;
+            ch.intra = IntraSt{};
+            if (m.toShim) {
+                ch.shimTok += m.tokens;
+                if (m.owner)
+                    ch.shimOwner = 1;
+                if (m.hasData) {
+                    ch.shimValid = 1;
+                    ch.shimValue = m.value;
+                }
+            } else {
+                ch.cacheTok[m.cache] += m.tokens;
+                if (m.owner)
+                    ch.cacheOwner[m.cache] = 1;
+                if (m.hasData) {
+                    ch.cacheValid[m.cache] = 1;
+                    ch.cacheValue[m.cache] = m.value;
+                }
+            }
+            emit(p);
+        }
+
+        // -- Shim: start a directory fetch ----------------------------
+        if (c0.fetch == kFNone && c0.recall == kRNone &&
+            c0.ext == kENone && p0.netFree() >= 1) {
+            bool wantRd = false, wantWr = false;
+            for (unsigned c = 0; c < NL; ++c) {
+                wantRd |= c0.want[c] == 1;
+                wantWr |= c0.want[c] == 2;
+            }
+            if (wantRd && c0.chip == kI) {
+                Packed p = p0;
+                p.cmp[x].fetch = kFGetS;
+                p.send(kGetS, kHome, std::uint8_t(x));
+                emit(p);
+            }
+            if (wantWr && c0.chip != kM) {
+                Packed p = p0;
+                ChipSt &ch = p.cmp[x];
+                ch.fetch = kFGetX;
+                if (ch.chip == kO && ch.shimValid) {
+                    // Upgrade: we already own the data (may be lost
+                    // again to an exclusive handoff racing the fetch).
+                    ch.fetchHasData = 1;
+                    ch.fetchValue = ch.shimValue;
+                }
+                p.send(kGetX, kHome, std::uint8_t(x));
+                emit(p);
+            }
+        }
+
+        // -- Shim: complete a directory fetch -------------------------
+        if (c0.fetch != kFNone && c0.fetchHasData &&
+            c0.acksNeeded != kNoAcks && c0.acksGot >= c0.acksNeeded &&
+            c0.recall == kRNone && c0.ext == kENone &&
+            p0.netFree() >= 1) {
+            Packed p = p0;
+            ChipSt &ch = p.cmp[x];
+            const bool excl = ch.fetchExcl || ch.fetch == kFGetX;
+            ch.chip = excl ? kM : kS;
+            ch.shimValid = 1;
+            ch.shimValue = ch.fetchValue;
+            ch.fetch = kFNone;
+            ch.fetchHasData = 0;
+            ch.fetchExcl = 0;
+            ch.acksNeeded = kNoAcks;
+            ch.acksGot = 0;
+            p.send(excl ? kUnblockEx : kUnblock, kHome,
+                   std::uint8_t(x));
+            emit(p);
+        }
+
+        // -- Shim: finish a recalled external request -----------------
+        if (c0.ext != kENone && p0.netFree() >= 1) {
+            if (c0.recall == kRFull && c0.shimTok == T) {
+                Packed p = p0;
+                ChipSt &ch = p.cmp[x];
+                if (ch.ext == kEInv) {
+                    if (!_cfg.bugSkipInvAck)
+                        p.send(kInvAck, ch.extFrom, std::uint8_t(x), 1);
+                    ch.chip = kI;
+                    ch.shimValid = 0;
+                } else if (ch.ext == kEFwdX) {
+                    p.send(kDataEx, ch.extFrom, std::uint8_t(x),
+                           ch.extAcks, ch.shimValue);
+                    ch.chip = kI;
+                    ch.shimValid = 0;
+                    if (ch.fetch != kFNone)
+                        ch.fetchHasData = 0;  // upgrade loses its data
+                }
+                ch.recall = kRNone;
+                ch.ext = kENone;
+                emit(p);
+            } else if (c0.recall == kRDown && c0.shimOwner &&
+                       c0.shimValid && c0.ext == kEFwdS) {
+                Packed p = p0;
+                ChipSt &ch = p.cmp[x];
+                p.send(kData, ch.extFrom, std::uint8_t(x), 0,
+                       ch.shimValue);
+                ch.chip = kO;
+                ch.recall = kRNone;
+                ch.ext = kENone;
+                emit(p);
+            }
+        }
+    }
+
+    // -- Inter-CMP message consumption --------------------------------
+    for (unsigned i = 0; i < kMaxNet; ++i) {
+        const NetSt &m = p0.net[i];
+        if (!m.used)
+            continue;
+
+        if (m.dst == kHome) {
+            // The home is a blocking directory: requests stay in the
+            // network while it is busy (that *is* the defer queue).
+            if (m.type == kGetS || m.type == kGetX) {
+                if (p0.busy)
+                    continue;
+                Packed p = p0;
+                p.net[i] = NetSt{};
+                const std::uint8_t q = m.from;
+                std::uint8_t sharers =
+                    std::uint8_t(p.presence & ~(1u << q));
+                unsigned nsh = 0;
+                for (unsigned y = 0; y < NC; ++y)
+                    nsh += (sharers >> y) & 1;
+                unsigned emits = 1;
+                if (m.type == kGetX && p.dirSt != kDU)
+                    emits += nsh;
+                if (p.netFree() < emits)
+                    continue;
+                if (m.type == kGetS) {
+                    switch (p.dirSt) {
+                      case kDU:
+                        p.send(kDataEx, q, q, 0, p.store);
+                        break;
+                      case kDS:
+                        p.send(kData, q, q, 0, p.store);
+                        break;
+                      default:
+                        p.send(kFwdGetS, p.ownerCmp, q);
+                        break;
+                    }
+                } else {
+                    switch (p.dirSt) {
+                      case kDU:
+                        p.send(kDataEx, q, q, 0, p.store);
+                        break;
+                      case kDS:
+                        for (unsigned y = 0; y < NC; ++y) {
+                            if ((sharers >> y) & 1)
+                                p.send(kInv, std::uint8_t(y), q);
+                        }
+                        p.send(kDataEx, q, q, std::uint8_t(nsh),
+                               p.store);
+                        break;
+                      default:
+                        if (p.ownerCmp == q) {
+                            // Upgrade: the owner keeps its data and
+                            // just collects invalidation acks.
+                            for (unsigned y = 0; y < NC; ++y) {
+                                if ((sharers >> y) & 1)
+                                    p.send(kInv, std::uint8_t(y), q);
+                            }
+                            p.send(kAckCount, q, q,
+                                   std::uint8_t(nsh));
+                        } else {
+                            sharers &= std::uint8_t(
+                                ~(1u << p.ownerCmp));
+                            nsh = 0;
+                            for (unsigned y = 0; y < NC; ++y)
+                                nsh += (sharers >> y) & 1;
+                            for (unsigned y = 0; y < NC; ++y) {
+                                if ((sharers >> y) & 1)
+                                    p.send(kInv, std::uint8_t(y), q);
+                            }
+                            p.send(kFwdGetX, p.ownerCmp, q,
+                                   std::uint8_t(nsh));
+                        }
+                        break;
+                    }
+                }
+                p.busy = 1;
+                emit(p);
+            } else if (m.type == kUnblock || m.type == kUnblockEx) {
+                if (!p0.busy)
+                    continue;
+                Packed p = p0;
+                p.net[i] = NetSt{};
+                if (m.type == kUnblockEx) {
+                    p.dirSt = kDM;
+                    p.ownerCmp = m.from;
+                    p.presence = 0;
+                } else {
+                    p.presence |= std::uint8_t(1u << m.from);
+                    p.dirSt = p.ownerCmp != 0xff ? kDO : kDS;
+                }
+                p.busy = 0;
+                emit(p);
+            }
+            continue;
+        }
+
+        // Delivery to the shim of cmp m.dst.
+        const unsigned x = m.dst;
+        const ChipSt &c0 = p0.cmp[x];
+        Packed p = p0;
+        p.net[i] = NetSt{};
+        ChipSt &ch = p.cmp[x];
+
+        switch (m.type) {
+          case kInv:
+            if (c0.ext != kENone)
+                continue;  // home never double-forwards; keep parked
+            if (_cfg.bugAckInvNoRecall) {
+                if (!_cfg.bugSkipInvAck)
+                    p.send(kInvAck, m.from, std::uint8_t(x), 1);
+                ch.chip = kI;
+                ch.shimValid = 0;
+                emit(p);
+            } else if (c0.shimTok == T) {
+                if (!_cfg.bugSkipInvAck)
+                    p.send(kInvAck, m.from, std::uint8_t(x), 1);
+                ch.chip = kI;
+                ch.shimValid = 0;
+                emit(p);
+            } else {
+                ch.recall = kRFull;
+                ch.ext = kEInv;
+                ch.extFrom = m.from;
+                emit(p);
+            }
+            break;
+          case kFwdGetS:
+            if (c0.ext != kENone)
+                continue;
+            if (c0.shimOwner && c0.shimValid) {
+                p.send(kData, m.from, std::uint8_t(x), 0,
+                       ch.shimValue);
+                ch.chip = kO;
+                emit(p);
+            } else {
+                ch.recall = kRDown;
+                ch.ext = kEFwdS;
+                ch.extFrom = m.from;
+                emit(p);
+            }
+            break;
+          case kFwdGetX:
+            if (c0.ext != kENone)
+                continue;
+            if (c0.shimTok == T) {
+                p.send(kDataEx, m.from, std::uint8_t(x), m.acks,
+                       ch.shimValue);
+                ch.chip = kI;
+                ch.shimValid = 0;
+                if (ch.fetch != kFNone)
+                    ch.fetchHasData = 0;  // upgrade loses its data
+                emit(p);
+            } else {
+                ch.recall = kRFull;
+                ch.ext = kEFwdX;
+                ch.extAcks = m.acks;
+                ch.extFrom = m.from;
+                emit(p);
+            }
+            break;
+          case kData:
+          case kDataEx:
+            if (c0.fetch == kFNone)
+                continue;
+            ch.fetchHasData = 1;
+            ch.fetchValue = m.value;
+            if (m.type == kDataEx)
+                ch.fetchExcl = 1;
+            if (ch.acksNeeded == kNoAcks)
+                ch.acksNeeded = m.acks;
+            emit(p);
+            break;
+          case kAckCount:
+            if (c0.fetch == kFNone)
+                continue;
+            ch.acksNeeded = m.acks;
+            emit(p);
+            break;
+          case kInvAck:
+            if (c0.fetch == kFNone)
+                continue;
+            ch.acksGot += m.acks;
+            emit(p);
+            break;
+          default:
+            fatal("HierModel: message type %u delivered to a shim",
+                  unsigned(m.type));
+        }
+    }
+}
+
+std::string
+HierModel::invariant(const State &s) const
+{
+    const Packed p = Packed::parse(s);
+    const unsigned NC = _cfg.cmps;
+    const unsigned NL = _cfg.cachesPerCmp;
+    const std::uint8_t T = std::uint8_t(_cfg.totalTokens);
+
+    char buf[128];
+    unsigned mCount = 0, nonI = 0;
+    for (unsigned x = 0; x < NC; ++x) {
+        const ChipSt &c = p.cmp[x];
+        mCount += c.chip == kM;
+        nonI += c.chip != kI;
+
+        unsigned tok = c.shimTok, own = c.shimOwner;
+        for (unsigned i = 0; i < NL; ++i) {
+            tok += c.cacheTok[i];
+            own += c.cacheOwner[i];
+            if (c.cacheOwner[i] && c.cacheTok[i] == 0)
+                return "cache holds ownership without a token";
+        }
+        if (c.intra.used) {
+            tok += c.intra.tokens;
+            own += c.intra.owner;
+            if (c.intra.owner && !c.intra.hasData)
+                return "intra owner token moved without data";
+            if (c.intra.owner && c.intra.tokens == 0)
+                return "intra ownership moved without a token";
+            if (c.intra.hasData && c.intra.value != p.globalValue)
+                return "stale data on the intra-CMP channel";
+        }
+        if (tok != T) {
+            std::snprintf(buf, sizeof(buf),
+                          "cmp%u token conservation: %u of %u",
+                          x, tok, unsigned(T));
+            return buf;
+        }
+        if (own != 1) {
+            std::snprintf(buf, sizeof(buf),
+                          "cmp%u owner-token count is %u", x, own);
+            return buf;
+        }
+        if (c.shimOwner && c.shimTok == 0)
+            return "shim holds ownership without a token";
+
+        // The anchor invariant: the shim's token holdings must remain
+        // translatable to the chip state the directory believes.
+        if (c.chip == kI && c.shimTok != T)
+            return "anchor: chip I but tokens outside the shim";
+        if (c.chip == kI && c.shimValid)
+            return "anchor: chip I with live shim data";
+        if ((c.chip == kS || c.chip == kO) && !c.shimOwner)
+            return "anchor: shim lost the owner token below chip M";
+        if ((c.chip == kS || c.chip == kO) && !c.shimValid)
+            return "anchor: chip S/O without shim data";
+
+        // Serial memory inside the chip.
+        for (unsigned i = 0; i < NL; ++i) {
+            if (c.cacheTok[i] > 0 && c.cacheValid[i] &&
+                c.cacheValue[i] != p.globalValue)
+                return "stale readable cache copy";
+        }
+        if (c.shimOwner && c.shimValid &&
+            c.shimValue != p.globalValue)
+            return "stale shim data copy";
+        if (c.fetchHasData && c.fetchValue != p.globalValue)
+            return "stale pending fetch data";
+    }
+
+    if (mCount > 1)
+        return "two chips in M";
+    if (mCount == 1 && nonI > 1)
+        return "chip M coexists with another non-I chip";
+
+    for (const NetSt &m : p.net) {
+        if (m.used && (m.type == kData || m.type == kDataEx) &&
+            m.value != p.globalValue)
+            return "stale data grant in flight";
+    }
+
+    // Directory / chip-state agreement holds whenever the home is not
+    // mid-transaction (busy covers every transient disagreement).
+    if (!p.busy) {
+        if (p.dirSt == kDU && nonI > 0)
+            return "dir U but a chip holds rights";
+        if (p.dirSt == kDM &&
+            (p.ownerCmp >= NC || p.cmp[p.ownerCmp].chip != kM))
+            return "dir M but the owner chip is not in M";
+        if (p.dirSt == kDM && p.presence != 0)
+            return "dir M with sharers present";
+        if (p.dirSt == kDO &&
+            (p.ownerCmp >= NC || p.cmp[p.ownerCmp].chip != kO))
+            return "dir O but the owner chip is not in O";
+        for (unsigned x = 0; x < NC; ++x) {
+            if ((p.presence >> x) & 1) {
+                if (p.cmp[x].chip != kS)
+                    return "presence bit set for a non-S chip";
+            }
+            if ((p.cmp[x].chip == kO || p.cmp[x].chip == kM) &&
+                p.ownerCmp != x)
+                return "chip holds O/M without being the dir owner";
+        }
+    }
+    return "";
+}
+
+bool
+HierModel::quiescent(const State &s) const
+{
+    const Packed p = Packed::parse(s);
+    if (p.busy)
+        return false;
+    for (const NetSt &m : p.net) {
+        if (m.used)
+            return false;
+    }
+    for (unsigned x = 0; x < _cfg.cmps; ++x) {
+        const ChipSt &c = p.cmp[x];
+        if (c.intra.used || c.fetch != kFNone ||
+            c.recall != kRNone || c.ext != kENone)
+            return false;
+        for (unsigned i = 0; i < _cfg.cachesPerCmp; ++i) {
+            if (c.want[i] != 0)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+HierModel::hasObligation(const State &s) const
+{
+    const Packed p = Packed::parse(s);
+    for (unsigned x = 0; x < _cfg.cmps; ++x) {
+        for (unsigned i = 0; i < _cfg.cachesPerCmp; ++i) {
+            if (p.cmp[x].want[i] != 0)
+                return true;
+        }
+    }
+    return false;
+}
+
+bool
+HierModel::obligationMet(const State &s) const
+{
+    return !hasObligation(s);
+}
+
+std::string
+HierModel::describe(const State &s) const
+{
+    const Packed p = Packed::parse(s);
+    std::string d;
+    char buf[96];
+    for (unsigned x = 0; x < _cfg.cmps; ++x) {
+        const ChipSt &c = p.cmp[x];
+        std::snprintf(buf, sizeof(buf),
+                      "cmp%u[%s shim=%u%s%s f=%u r=%u e=%u caches=",
+                      x, chipName(c.chip), unsigned(c.shimTok),
+                      c.shimOwner ? "o" : "", c.shimValid ? "v" : "",
+                      unsigned(c.fetch), unsigned(c.recall),
+                      unsigned(c.ext));
+        d += buf;
+        for (unsigned i = 0; i < _cfg.cachesPerCmp; ++i) {
+            std::snprintf(buf, sizeof(buf), "%u%s%s",
+                          unsigned(c.cacheTok[i]),
+                          c.cacheOwner[i] ? "o" : "",
+                          c.cacheValid[i] ? "v" : "");
+            d += buf;
+            d += i + 1 < _cfg.cachesPerCmp ? "," : "";
+        }
+        d += "] ";
+    }
+    std::snprintf(buf, sizeof(buf), "dir=%u pres=%x own=%d busy=%u",
+                  unsigned(p.dirSt), unsigned(p.presence),
+                  p.ownerCmp == 0xff ? -1 : int(p.ownerCmp),
+                  unsigned(p.busy));
+    d += buf;
+    unsigned msgs = 0;
+    for (const NetSt &m : p.net)
+        msgs += m.used;
+    std::snprintf(buf, sizeof(buf), " net=%u", msgs);
+    d += buf;
+    return d;
+}
+
+} // namespace tokencmp::mc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Model of the hierarchical (HierCMP) composition: a MOESI directory
+ * *between* CMPs with token coherence *inside* each CMP — the inverse
+ * of the flat TokenCMP protocols, and the composition the HierShim
+ * implements.
+ *
+ * The intra-CMP token substrate is already verified by TokenModel, so
+ * this model abstracts it (tokens move between caches and the shim
+ * through a one-slot local channel) and spends its state budget on the
+ * *two-level product*: the shim's chip state vs its token holdings vs
+ * the home directory's view, and the races between external
+ * invalidations/forwards and in-flight local requests.
+ *
+ * Checked properties:
+ *  - per-CMP token conservation and owner uniqueness;
+ *  - the anchor invariant (chip != M => the shim holds the intra-CMP
+ *    owner token; chip == I => the shim holds all T tokens), which is
+ *    what makes local token counts translatable to directory states;
+ *  - serial memory (any readable copy equals the last written value;
+ *    in-flight data is current);
+ *  - chip-M exclusivity and, when the home is not mid-transaction,
+ *    agreement between directory state and per-chip rights;
+ *  - deadlock freedom and progress (every outstanding processor
+ *    request can always still be satisfied).
+ *
+ * Bug-injection switches re-enable real composition mistakes so tests
+ * can confirm the checker catches each one.
+ */
+
+#ifndef TOKENCMP_MC_HIER_MODEL_HH
+#define TOKENCMP_MC_HIER_MODEL_HH
+
+#include "mc/model.hh"
+
+namespace tokencmp::mc {
+
+/** Model configuration (tiny, as model checking demands). */
+struct HierModelConfig
+{
+    unsigned cmps = 2;          //!< chips under one home directory
+    unsigned cachesPerCmp = 2;  //!< token caches inside each chip
+    int totalTokens = 3;        //!< per-CMP token count (> caches)
+    unsigned issueLimit = 1;    //!< processor requests per cache
+
+    // Bug injection (each must be caught by the checker):
+
+    /** The shim's local read service hands the intra-CMP owner token
+     *  out at chip S/O, breaking the anchor invariant. */
+    bool bugServeOwnerAtS = false;
+
+    /** The shim acks an external Inv immediately without recalling
+     *  the tokens its local caches still hold. */
+    bool bugAckInvNoRecall = false;
+
+    /** The shim invalidates on an external Inv but never sends the
+     *  InvAck, wedging the remote writer (liveness bug). */
+    bool bugSkipInvAck = false;
+};
+
+/** Explicit-state model of the two-level HierCMP composition. */
+class HierModel : public Model
+{
+  public:
+    explicit HierModel(const HierModelConfig &cfg);
+
+    std::string name() const override;
+    std::vector<State> initialStates() const override;
+    void successors(const State &s,
+                    std::vector<State> &out) const override;
+    std::string invariant(const State &s) const override;
+    bool quiescent(const State &s) const override;
+    bool hasObligation(const State &s) const override;
+    bool obligationMet(const State &s) const override;
+    std::string describe(const State &s) const override;
+
+    const HierModelConfig &config() const { return _cfg; }
+
+    struct Packed;  //!< packed state layout (defined in the .cc)
+
+  private:
+    HierModelConfig _cfg;
+};
+
+} // namespace tokencmp::mc
+
+#endif // TOKENCMP_MC_HIER_MODEL_HH

@@ -103,10 +103,13 @@ constexpr MsgShape kVocabulary[] = {
     {MsgType::TokWriteback, kCache, kL2 | kMem, kControlBytes},
     {MsgType::PersistActivate, kL1, kAnyNode, kControlBytes},
     {MsgType::PersistDeactivate, kL1, kAnyNode, kControlBytes},
-    {MsgType::PersistArbRequest, kL1, kMem, kControlBytes},
-    {MsgType::PersistArbActivate, kMem, kAnyNode, kControlBytes},
-    {MsgType::PersistArbDeactivate, kMem, kAnyNode, kControlBytes},
-    {MsgType::PersistArbDone, kL1, kMem, kControlBytes},
+    // Arbiters live at the home memory (flat protocols) or at the
+    // CMP's L2-slot shim (hier family).
+    {MsgType::PersistArbRequest, kL1, kL2 | kMem, kControlBytes},
+    {MsgType::PersistArbActivate, kL2 | kMem, kAnyNode, kControlBytes},
+    {MsgType::PersistArbDeactivate, kL2 | kMem, kAnyNode,
+     kControlBytes},
+    {MsgType::PersistArbDone, kL1, kL2 | kMem, kControlBytes},
     {MsgType::GetS, kCache, kL2 | kMem, kControlBytes},
     {MsgType::GetX, kCache, kL2 | kMem, kControlBytes},
     {MsgType::FwdGetS, kL2 | kMem, kCache, kControlBytes},

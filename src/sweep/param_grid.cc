@@ -54,6 +54,8 @@ isProtocolSpecial(const std::string &name, Protocol *out = nullptr)
         p = Protocol::DirectoryCMPZero;
     else if (name == "perfect")
         p = Protocol::PerfectL2;
+    else if (name == "hier")
+        p = Protocol::HierCMP;
     else
         return false;
     if (out)
@@ -168,7 +170,8 @@ ParamGrid::fromJsonText(const std::string &text,
         if (!isProtocolSpecial(p) &&
             !PolicyRegistry::instance().known(p)) {
             fatal("sweep grid %s: unknown policy '%s' (registered: "
-                  "%s; specials: directory, directory-zero, perfect)",
+                  "%s; specials: directory, directory-zero, perfect, "
+                  "hier)",
                   what.c_str(), p.c_str(),
                   joinNames(PolicyRegistry::instance().names())
                       .c_str());

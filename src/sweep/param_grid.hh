@@ -31,7 +31,8 @@
  *
  * "policies" entries are PolicyRegistry names on the token substrate,
  * plus the specials "directory" / "directory-zero" / "perfect" for
- * the non-token baselines. Every name (policies, workloads, knobs) is
+ * the non-token baselines and "hier" for the hierarchical family.
+ * Every name (policies, workloads, knobs) is
  * validated against its registry at load time — a typo dies before
  * any cell simulates, not at 3am in cell 900.
  */

@@ -19,6 +19,7 @@ protocolName(Protocol p)
       case Protocol::TokenDst1Pred: return "TokenCMP-dst1-pred";
       case Protocol::TokenDst1Filt: return "TokenCMP-dst1-filt";
       case Protocol::PerfectL2: return "PerfectL2";
+      case Protocol::HierCMP: return "HierCMP";
     }
     return "?";
 }
@@ -46,7 +47,7 @@ allProtocols()
             Protocol::TokenArb0, Protocol::TokenDst0,
             Protocol::TokenDst4, Protocol::TokenDst1,
             Protocol::TokenDst1Pred, Protocol::TokenDst1Filt,
-            Protocol::PerfectL2};
+            Protocol::PerfectL2, Protocol::HierCMP};
 }
 
 const char *
@@ -261,6 +262,11 @@ SystemConfig::finalize()
         token.policy = token_variants::dst1Filt();
         break;
       case Protocol::PerfectL2:
+        break;
+      case Protocol::HierCMP:
+        // Tokens within each CMP, MOESI directory between CMPs.
+        token.policy = token_variants::hier();
+        dir.dirLatency = ns(80);
         break;
     }
 }

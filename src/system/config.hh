@@ -29,6 +29,7 @@ enum class Protocol : unsigned char {
     TokenDst1Pred,     //!< dst1 + contention predictor
     TokenDst1Filt,     //!< dst1 + external-request filter
     PerfectL2,         //!< infinite shared L2 lower bound
+    HierCMP,           //!< directory between CMPs, tokens within
 };
 
 /** Printable protocol name (matches the paper's figures). */
@@ -120,6 +121,14 @@ struct SystemConfig
     NetworkParams net{};
     TokenParams token{};
     DirParams dir{};
+
+    /**
+     * HierCMP only: soft cap on the blocks a shim holds chip rights
+     * for before it starts chip-level evictions/writebacks to the home
+     * directory (0 = unbounded). Per shim (L2 bank slot), so a CMP's
+     * effective capacity is l2BanksPerCmp x this many blocks.
+     */
+    unsigned hierResidencyCap = 1024;
 
     std::uint64_t seed = 1;
     bool audit = true;  //!< token-conservation auditing

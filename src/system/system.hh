@@ -33,6 +33,9 @@
 #include "directory/dir_l2.hh"
 #include "directory/dir_mem.hh"
 #include "directory/perfect_l2.hh"
+#include "hier/hier_dir_mem.hh"
+#include "hier/hier_l1.hh"
+#include "hier/hier_shim.hh"
 #include "sim/stats.hh"
 #include "system/config.hh"
 #include "system/protocol_registry.hh"
@@ -87,6 +90,9 @@ template <> struct ControllerKey<TokenL2> : L2Key<TokenL2> {};
 template <> struct ControllerKey<DirL2> : L2Key<DirL2> {};
 template <> struct ControllerKey<TokenMem> : MemKey<TokenMem> {};
 template <> struct ControllerKey<DirMem> : MemKey<DirMem> {};
+template <> struct ControllerKey<HierL1> : L1Key<HierL1> {};
+template <> struct ControllerKey<HierShim> : L2Key<HierShim> {};
+template <> struct ControllerKey<HierDirMem> : MemKey<HierDirMem> {};
 
 } // namespace detail
 
@@ -183,6 +189,15 @@ class System
     }
 
     TokenGlobals *tokenGlobals() { return _proto->tokenGlobals(); }
+
+    /** Run the family's quiescence audit (token conservation per
+     *  token space, owner uniqueness). Also runs at the end of every
+     *  run(); exposed so scenario tests can audit between phases. */
+    void
+    verifyQuiescent(bool fatal_on_violation = true) const
+    {
+        _proto->verifyQuiescent(fatal_on_violation);
+    }
 
     /**
      * Typed controller lookup: the controller of type `C` at the

@@ -56,13 +56,17 @@ TEST(ProtocolRegistry, TypedLookupMatchesOldAccessors)
         const bool dir = p == Protocol::DirectoryCMP ||
                          p == Protocol::DirectoryCMPZero;
         const bool perfect = p == Protocol::PerfectL2;
+        // Hier L1s are TokenL1 subclasses and the hier home is a
+        // DirMem subclass, so those typed lookups resolve for hier
+        // too; the shim is neither a TokenL2 nor a DirL2.
+        const bool hier = p == Protocol::HierCMP;
 
         for (unsigned c = 0; c < t.numCmps; ++c) {
             for (unsigned pr = 0; pr < t.procsPerCmp; ++pr) {
                 TokenL1 *tl1 = sys.controller<TokenL1>(c, pr);
                 DirL1 *dl1 = sys.controller<DirL1>(c, pr);
                 PerfectL1 *pl1 = sys.controller<PerfectL1>(c, pr);
-                EXPECT_EQ(tl1 != nullptr, token);
+                EXPECT_EQ(tl1 != nullptr, token || hier);
                 EXPECT_EQ(dl1 != nullptr, dir);
                 EXPECT_EQ(pl1 != nullptr, perfect);
                 // Exactly one family serves each position.
@@ -73,7 +77,7 @@ TEST(ProtocolRegistry, TypedLookupMatchesOldAccessors)
                 Controller *ic = sys.controllerAt(t.l1i(c, pr));
                 ASSERT_NE(ic, nullptr);
                 EXPECT_NE(any, ic);
-                if (token) {
+                if (token || hier) {
                     EXPECT_EQ(static_cast<Controller *>(tl1), any);
                     EXPECT_EQ(sys.controller<TokenL1>(c, pr, true),
                               static_cast<Controller *>(ic));
@@ -85,7 +89,9 @@ TEST(ProtocolRegistry, TypedLookupMatchesOldAccessors)
                 EXPECT_EQ(sys.controller<DirL2>(c, b) != nullptr, dir);
             }
             EXPECT_EQ(sys.controller<TokenMem>(c) != nullptr, token);
-            EXPECT_EQ(sys.controller<DirMem>(c) != nullptr, dir);
+            EXPECT_EQ(sys.controller<DirMem>(c) != nullptr,
+                      dir || hier);
+            EXPECT_EQ(sys.controller<HierShim>(c, 0) != nullptr, hier);
             // PerfectL2 builds no L2/Mem controllers at all.
             if (perfect) {
                 EXPECT_EQ(sys.controllerAt(t.l2(c, 0)), nullptr);

@@ -10,6 +10,7 @@
 
 #include "mc/checker.hh"
 #include "mc/dir_model.hh"
+#include "mc/hier_model.hh"
 #include "mc/token_model.hh"
 
 namespace tokencmp::mc {
@@ -193,6 +194,62 @@ TEST(DirModelCheck, CatchesForgottenInvalidation)
     auto r = chk.run(m);
     EXPECT_FALSE(r.safe);
     EXPECT_NE(r.violation.find("stale"), std::string::npos);
+}
+
+TEST(HierModelCheck, TwoLevelCompositionIsSafeAndProgressing)
+{
+    HierModelConfig cfg;
+    Checker chk;
+    HierModel m(cfg);
+    auto r = chk.run(m);
+    EXPECT_TRUE(r.completed) << r.violation;
+    EXPECT_TRUE(r.safe) << r.violation;
+    EXPECT_TRUE(r.deadlockFree) << r.violation;
+    EXPECT_TRUE(r.progress) << r.violation;
+    EXPECT_GT(r.states, 1000u);
+}
+
+TEST(HierModelCheck, CatchesOwnerServedBelowChipM)
+{
+    // The anchor invariant: the shim may release the intra-CMP owner
+    // token only at chip M; handing it out at chip S/O makes local
+    // token counts untranslatable to directory states.
+    HierModelConfig cfg;
+    cfg.bugServeOwnerAtS = true;
+    Checker chk;
+    HierModel m(cfg);
+    auto r = chk.run(m);
+    EXPECT_FALSE(r.safe);
+    EXPECT_NE(r.violation.find("anchor"), std::string::npos)
+        << r.violation;
+}
+
+TEST(HierModelCheck, CatchesInvAckWithoutRecall)
+{
+    // Acking an external invalidation while local caches still hold
+    // tokens leaves readable copies behind the directory's back.
+    HierModelConfig cfg;
+    cfg.bugAckInvNoRecall = true;
+    Checker chk;
+    HierModel m(cfg);
+    auto r = chk.run(m);
+    EXPECT_FALSE(r.safe);
+    EXPECT_FALSE(r.violation.empty());
+}
+
+TEST(HierModelCheck, CatchesSkippedInvAck)
+{
+    // Invalidate-but-never-ack wedges the remote writer: a liveness
+    // failure (the checker reports the wedged writer as a deadlocked
+    // non-quiescent state).
+    HierModelConfig cfg;
+    cfg.bugSkipInvAck = true;
+    Checker chk;
+    HierModel m(cfg);
+    auto r = chk.run(m);
+    EXPECT_FALSE(r.deadlockFree);
+    EXPECT_NE(r.violation.find("deadlock"), std::string::npos)
+        << r.violation;
 }
 
 } // namespace tokencmp::mc

@@ -200,6 +200,64 @@ TEST(AdaptivePolicies, CompleteQuiesceAndExportStats)
     }
 }
 
+TEST(AdaptivePolicies, PersistentActivationsTrainThePredictor)
+{
+    // Pins the persistent-broadcast training path. Old behavior
+    // (first three expectations): only relayed transient externals
+    // trained the owner predictor, so a requester whose narrowed
+    // retries all missed — and which therefore escalated straight to
+    // a persistent request — stayed invisible, and the next
+    // escalation for its block remained a full broadcast. New
+    // behavior: a fresh remote activation trains the predictor with
+    // the same read/write strengths as the transient signal.
+    SystemConfig cfg;
+    cfg.protocol = Protocol::TokenDst1;
+    cfg.finalize();
+    System sys(cfg);
+    const Topology &topo = sys.context().topo;
+
+    PolicyEnv env;
+    env.self = topo.l2(0, 0);
+    env.topo = topo;
+    env.params = &sys.config().token;
+    env.ctx = &sys.context();
+    auto pol = PolicyRegistry::instance().create("dst-owner", env);
+
+    Addr addr = 0;
+    while (topo.homeCmpOf(addr) != 3)
+        addr += blockBytes;
+
+    // Untrained: the escalation is the full 3-CMP broadcast.
+    std::vector<MachineID> out;
+    pol->destinationSet(addr, DestKind::L2Escalate, false, 1, out);
+    EXPECT_EQ(out.size(), 3u);
+
+    // A persistent *read* activation trains at strength 1 — below
+    // confidence, exactly like a relayed transient read.
+    pol->onPersistentActivate(addr, topo.l1d(2, 1), true);
+    out.clear();
+    pol->destinationSet(addr, DestKind::L2Escalate, false, 1, out);
+    EXPECT_EQ(out.size(), 3u);
+
+    // A persistent *write* activation saturates confidence: the next
+    // read escalation narrows to {predicted holder, home path}.
+    pol->onPersistentActivate(addr, topo.l1d(2, 1), false);
+    out.clear();
+    pol->destinationSet(addr, DestKind::L2Escalate, false, 1, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_TRUE(out[0] == topo.l2BankFor(2, addr));
+    EXPECT_TRUE(out[1] == topo.l2BankFor(3, addr));
+
+    // Writes must still broadcast no matter how confident.
+    out.clear();
+    pol->destinationSet(addr, DestKind::L2Escalate, true, 1, out);
+    EXPECT_EQ(out.size(), 3u);
+
+    StatSet stats;
+    pol->exportStats(stats);
+    EXPECT_EQ(stats.get("policy.persistentTrainings"), 2.0);
+}
+
 TEST(AdaptivePolicies, FixedSeedRunsReproduce)
 {
     for (const char *name : {"dst-owner", "bw-adapt"}) {

@@ -700,7 +700,8 @@ TEST_P(ShardSweep, ReferenceHeapOracleMatchesWheel)
 INSTANTIATE_TEST_SUITE_P(
     ProtocolsByMapByShards, ShardSweep,
     ::testing::Combine(::testing::Values(Protocol::TokenDst1,
-                                         Protocol::DirectoryCMP),
+                                         Protocol::DirectoryCMP,
+                                         Protocol::HierCMP),
                        ::testing::Values(ShardMapKind::PerCmp,
                                          ShardMapKind::PerL1Bank,
                                          ShardMapKind::Explicit),
@@ -727,47 +728,51 @@ INSTANTIATE_TEST_SUITE_P(
  */
 class ModeSweep
     : public ::testing::TestWithParam<
-          std::tuple<SpeculationMode, ShardMapKind, unsigned>>
+          std::tuple<Protocol, SpeculationMode, ShardMapKind, unsigned>>
 {};
 
 TEST_P(ModeSweep, StatsBitIdenticalAcrossWorkerCounts)
 {
-    const SpeculationMode mode = std::get<0>(GetParam());
-    const ShardMapKind map = std::get<1>(GetParam());
-    const unsigned shards = std::get<2>(GetParam());
+    const Protocol proto = std::get<0>(GetParam());
+    const SpeculationMode mode = std::get<1>(GetParam());
+    const ShardMapKind map = std::get<2>(GetParam());
+    const unsigned shards = std::get<3>(GetParam());
 
     const RunSummary base = runSystem(
-        Protocol::TokenDst1, 1, SchedulerKind::TimingWheel, 11, map,
-        mode);
+        proto, 1, SchedulerKind::TimingWheel, 11, map, mode);
     ASSERT_TRUE(base.completed);
     EXPECT_EQ(base.violations, 0u);
 
     const RunSummary run = runSystem(
-        Protocol::TokenDst1, shards, SchedulerKind::TimingWheel, 11,
-        map, mode);
+        proto, shards, SchedulerKind::TimingWheel, 11, map, mode);
     expectSameRun(run, base,
-                  std::string(speculationModeName(mode)) + " map=" +
+                  std::string(protocolName(proto)) + " " +
+                      speculationModeName(mode) + " map=" +
                       shardMapKindName(map) + " shards=" +
                       std::to_string(shards));
 }
 
 INSTANTIATE_TEST_SUITE_P(
     ModesByMapByWorkers, ModeSweep,
-    ::testing::Combine(::testing::Values(SpeculationMode::Off,
+    ::testing::Combine(::testing::Values(Protocol::TokenDst1,
+                                         Protocol::HierCMP),
+                       ::testing::Values(SpeculationMode::Off,
                                          SpeculationMode::Optimistic),
                        ::testing::Values(ShardMapKind::PerCmp,
                                          ShardMapKind::PerL1Bank),
                        ::testing::Values(1u, 2u, 4u, 8u)),
     [](const auto &info) {
-        std::string name(speculationModeName(std::get<0>(info.param)));
+        std::string name(protocolName(std::get<0>(info.param)));
         name += std::string("_") +
-                shardMapKindName(std::get<1>(info.param));
+                speculationModeName(std::get<1>(info.param));
+        name += std::string("_") +
+                shardMapKindName(std::get<2>(info.param));
         for (char &c : name) {
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';
         }
         return name + "_shards" +
-               std::to_string(std::get<2>(info.param));
+               std::to_string(std::get<3>(info.param));
     });
 
 TEST(ShardedSystem, SerialAndShardedAgreeSemantically)
@@ -777,7 +782,8 @@ TEST(ShardedSystem, SerialAndShardedAgreeSemantically)
     // deterministic execution — so per-run timing statistics may
     // legitimately diverge; the semantic outcome must not.
     for (Protocol proto :
-         {Protocol::TokenDst1, Protocol::DirectoryCMP}) {
+         {Protocol::TokenDst1, Protocol::DirectoryCMP,
+          Protocol::HierCMP}) {
         const RunSummary serial =
             runSystem(proto, 0, SchedulerKind::ReferenceHeap, 31);
         for (ShardMapKind map :

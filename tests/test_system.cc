@@ -86,10 +86,14 @@ TEST(SystemConfig, ProtocolNamesMatchPaper)
                  "TokenCMP-dst1-filt");
     EXPECT_STREQ(protocolName(Protocol::DirectoryCMPZero),
                  "DirectoryCMP-zero");
-    EXPECT_EQ(allProtocols().size(), 9u);
+    EXPECT_STREQ(protocolName(Protocol::HierCMP), "HierCMP");
+    EXPECT_EQ(allProtocols().size(), 10u);
     EXPECT_TRUE(isToken(Protocol::TokenArb0));
     EXPECT_FALSE(isToken(Protocol::PerfectL2));
     EXPECT_FALSE(isToken(Protocol::DirectoryCMP));
+    // Hier has a token substrate inside each CMP but is not one of the
+    // flat token protocols (no system-wide token space or policy row).
+    EXPECT_FALSE(isToken(Protocol::HierCMP));
 }
 
 TEST(System, BuildsAllNineProtocols)
